@@ -1,0 +1,201 @@
+// Command hebs applies Histogram Equalization for Backlight Scaling to
+// a single image and reports the backlight factor, distortion and
+// power saving. Input formats: PGM/PPM/PNG; a named synthetic
+// benchmark image can be used instead of a file via -bench.
+//
+// Usage:
+//
+//	hebs -in photo.png -distortion 10 -out transformed.png
+//	hebs -bench lena -range 150 -out lena150.pgm -preview preview.pgm
+//
+// Exactly one of -distortion or -range selects the operating point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hebs/internal/chart"
+	"hebs/internal/core"
+	"hebs/internal/driver"
+	"hebs/internal/gray"
+	"hebs/internal/imageio"
+	"hebs/internal/power"
+	"hebs/internal/rgb"
+	"hebs/internal/sipi"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hebs:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hebs", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "input image file (.pgm/.ppm/.png)")
+	bench := fs.String("bench", "", "use a synthetic benchmark image instead of -in (e.g. lena)")
+	outPath := fs.String("out", "", "write the transformed (frame-buffer) image here")
+	preview := fs.String("preview", "", "write the contrast-compensated preview here")
+	dither := fs.String("dither", "", "write the error-diffusion dithered preview here (grayscale)")
+	distortion := fs.Float64("distortion", 0, "maximum tolerable distortion in percent")
+	dynRange := fs.Int("range", 0, "target dynamic range (bypasses the distortion lookup)")
+	segments := fs.Int("segments", driver.DefaultConfig.Sources, "PLC segment budget m")
+	exact := fs.Bool("exact", true, "per-image range search (false: global characteristic curve)")
+	voltages := fs.Bool("voltages", false, "print the PLRD reference voltage program")
+	resize := fs.Int("resize", 0, "resample the input to this edge length before processing (0 = keep)")
+	colorMode := fs.Bool("color", false, "keep color: decide on luma, apply Λ to all channels")
+	curvePath := fs.String("curve", "", "characteristic-curve JSON (from hebschar -save); implies curve-lookup mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var colorImg *rgb.Image
+	if *colorMode {
+		if *in == "" {
+			return fmt.Errorf("-color requires -in (benchmark images are grayscale)")
+		}
+		var err error
+		colorImg, err = imageio.LoadColor(*in)
+		if err != nil {
+			return err
+		}
+	}
+
+	img, err := loadInput(*in, *bench)
+	if err != nil {
+		return err
+	}
+	if *resize < 0 {
+		return fmt.Errorf("negative -resize %d", *resize)
+	}
+	if *resize > 0 {
+		if *colorMode {
+			return fmt.Errorf("-resize is not supported together with -color")
+		}
+		img, err = img.Resize(*resize, *resize)
+		if err != nil {
+			return err
+		}
+	}
+	if (*distortion > 0) == (*dynRange > 0) {
+		return fmt.Errorf("specify exactly one of -distortion or -range")
+	}
+
+	cfg := driver.DefaultConfig
+	opts := core.Options{
+		MaxDistortionPercent: *distortion,
+		DynamicRange:         *dynRange,
+		ExactSearch:          *exact,
+		Segments:             *segments,
+		Driver:               &cfg,
+	}
+	if *curvePath != "" {
+		curve, err := chart.LoadJSON(*curvePath)
+		if err != nil {
+			return err
+		}
+		opts.Curve = curve
+		opts.ExactSearch = false
+	}
+	var res *core.Result
+	var colorRes *core.ColorResult
+	if *colorMode {
+		colorRes, err = core.ProcessColor(colorImg, opts)
+		if err != nil {
+			return err
+		}
+		res = colorRes.Result
+	} else {
+		res, err = core.Process(img, opts)
+		if err != nil {
+			return err
+		}
+	}
+
+	st := img.Statistics()
+	fmt.Fprintf(out, "input:                %dx%d, dynamic range %d, %d levels\n",
+		img.W, img.H, st.DynamicRng, st.NumLevels)
+	fmt.Fprintf(out, "admissible range R:   %d\n", res.Range)
+	fmt.Fprintf(out, "backlight factor β:   %.4f\n", res.Beta)
+	if res.PredictedDistortion > 0 {
+		fmt.Fprintf(out, "predicted distortion: %.2f%%\n", res.PredictedDistortion)
+	}
+	fmt.Fprintf(out, "achieved distortion:  %.2f%%\n", res.AchievedDistortion)
+	fmt.Fprintf(out, "PLC segments:         %d (MSE %.3f levels²)\n",
+		len(res.Breakpoints)-1, res.PLCError)
+	fmt.Fprintf(out, "power:                %.3f W -> %.3f W\n", res.PowerBefore, res.PowerAfter)
+	fmt.Fprintf(out, "power saving:         %.2f%%\n", res.PowerSavingPercent)
+	sys, err := power.SmartBadgeActive.SystemSavingPercent(res.PowerSavingPercent)
+	if err == nil {
+		fmt.Fprintf(out, "system saving:        %.2f%% (active mode, SmartBadge share)\n", sys)
+	}
+	fmt.Fprintf(out, "hardware realization: MSE %.3f levels²\n", res.RealizationError)
+
+	if *voltages {
+		fmt.Fprintln(out, "\nPLRD reference voltages (Eq. 10):")
+		for i, tap := range res.Program.Taps {
+			fmt.Fprintf(out, "  V%-2d at code %3d: %.4f V\n", i, tap.Code, tap.Voltage)
+		}
+	}
+
+	if *outPath != "" {
+		if colorRes != nil {
+			err = imageio.SaveColor(*outPath, colorRes.TransformedColor)
+		} else {
+			err = imageio.Save(*outPath, res.Transformed)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote transformed image to %s\n", *outPath)
+	}
+	if *preview != "" {
+		if colorRes != nil {
+			p, err := colorRes.CompensatedColorPreview()
+			if err != nil {
+				return err
+			}
+			if err := imageio.SaveColor(*preview, p); err != nil {
+				return err
+			}
+		} else {
+			p, err := res.CompensatedPreview()
+			if err != nil {
+				return err
+			}
+			if err := imageio.Save(*preview, p); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "wrote compensated preview to %s\n", *preview)
+	}
+	if *dither != "" {
+		p, err := res.DitheredPreview()
+		if err != nil {
+			return err
+		}
+		if err := imageio.Save(*dither, p); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote dithered preview to %s\n", *dither)
+	}
+	return nil
+}
+
+func loadInput(in, bench string) (*gray.Image, error) {
+	switch {
+	case in != "" && bench != "":
+		return nil, fmt.Errorf("specify only one of -in and -bench")
+	case in != "":
+		return imageio.Load(in)
+	case bench != "":
+		return sipi.Generate(bench, sipi.DefaultSize, sipi.DefaultSize)
+	default:
+		return nil, fmt.Errorf("specify -in FILE or -bench NAME")
+	}
+}

@@ -1,0 +1,318 @@
+// Command hebsbench regenerates the paper's evaluation artifacts —
+// every table and figure of Section 5 plus the design ablations — as
+// aligned text tables and optional CSV files.
+//
+// Usage:
+//
+//	hebsbench [-size N] [-csv DIR] [-dump DIR] [-only LIST]
+//
+// With no flags it runs everything at the default benchmark image size
+// and prints to stdout. -only selects a comma-separated subset of:
+// fig6a, fig6b, fig7, fig8, table1, compare, ablations. -dump writes
+// the Figure 8 original / transformed / compensated-preview images as
+// PGM files (the quantitative counterpart of the paper's thumbnails).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hebs/internal/core"
+	"hebs/internal/experiments"
+	"hebs/internal/imageio"
+	"hebs/internal/report"
+	"hebs/internal/sipi"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hebsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hebsbench", flag.ContinueOnError)
+	fs.SetOutput(out)
+	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
+	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	dumpDir := fs.String("dump", "", "write the Figure 8 image dumps (PGM) into this directory")
+	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{ImageSize: *size}
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	emit := func(name, title string, tb *report.Table) error {
+		if err := report.Section(out, title); err != nil {
+			return err
+		}
+		if err := tb.WriteText(out); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+			if err != nil {
+				return err
+			}
+			if err := tb.WriteCSV(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if want("fig6a") {
+		pts, err := experiments.Figure6a(cfg, 21)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig6a", "Figure 6a — CCFL driver power vs backlight factor (LP064V1)",
+			experiments.RenderCurve(pts, "beta", "power_W")); err != nil {
+			return err
+		}
+	}
+
+	if want("fig6b") {
+		pts, err := experiments.Figure6b(cfg, 21)
+		if err != nil {
+			return err
+		}
+		if err := emit("fig6b", "Figure 6b — TFT panel power vs pixel transmittance (Eq. 12)",
+			experiments.RenderCurve(pts, "transmittance", "power_W")); err != nil {
+			return err
+		}
+	}
+
+	if want("fig7") {
+		curve, err := experiments.Figure7(cfg)
+		if err != nil {
+			return err
+		}
+		cloud := report.NewTable("image", "range", "distortion_pct", "saving_pct")
+		for _, s := range curve.Samples {
+			cloud.MustAddRow(s.Name, report.I(s.Range),
+				report.F(s.Distortion, 2), report.F(s.Saving, 2))
+		}
+		if err := emit("fig7_cloud", "Figure 7 — distortion vs dynamic range (point cloud)", cloud); err != nil {
+			return err
+		}
+		fits := report.NewTable("range", "entire_dataset_fit", "worstcase_fit")
+		for _, r := range curve.Ranges {
+			fits.MustAddRow(report.I(r),
+				report.F(curve.PredictedDistortion(r, false), 2),
+				report.F(curve.PredictedDistortion(r, true), 2))
+		}
+		if err := emit("fig7_fits", "Figure 7 — fitted characteristic curves", fits); err != nil {
+			return err
+		}
+	}
+
+	if want("fig8") {
+		rows, err := experiments.Figure8(cfg)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable("image", "dynamic_range", "distortion_pct", "power_saving_pct")
+		for _, r := range rows {
+			tb.MustAddRow(r.Name, report.I(r.Range),
+				report.F(r.Distortion, 1), report.F(r.Saving, 2))
+		}
+		if err := emit("fig8", "Figure 8 — sample images at dynamic range 220 and 100", tb); err != nil {
+			return err
+		}
+		if *dumpDir != "" {
+			if err := dumpFigure8(cfg, *dumpDir); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "\nwrote Figure 8 image dumps to %s\n", *dumpDir)
+		}
+	}
+
+	if want("table1") {
+		res, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("table1", "Table 1 — power saving for different distortion levels",
+			experiments.RenderTable1(res)); err != nil {
+			return err
+		}
+	}
+
+	if want("compare") {
+		rows, err := experiments.Comparison(cfg, 10)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable("method", "mean_saving_pct", "mean_beta")
+		for _, r := range rows {
+			tb.MustAddRow(r.Method, report.F(r.MeanSaving, 2), report.F(r.MeanBeta, 3))
+		}
+		if err := emit("compare", "Section 5.2 — HEBS vs DLS [4] and CBCS [5] at 10% distortion", tb); err != nil {
+			return err
+		}
+
+		native, err := experiments.NativeVsPerceptual(cfg, 10)
+		if err != nil {
+			return err
+		}
+		tb = report.NewTable("method", "native_policy_saving_pct", "uqi_policy_saving_pct", "left_on_table_pts")
+		for _, r := range native {
+			tb.MustAddRow(r.Method, report.F(r.MeanNativeSaving, 2),
+				report.F(r.MeanUQISaving, 2), report.F(r.OverestimatePct, 2))
+		}
+		if err := emit("compare_native", "Section 2 claim — pixel-count measures overestimate distortion", tb); err != nil {
+			return err
+		}
+	}
+
+	if want("ablations") {
+		if err := runAblations(cfg, emit); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintln(out)
+	return nil
+}
+
+// runAblations emits the DESIGN.md §5 ablation tables.
+func runAblations(cfg experiments.Config, emit func(name, title string, tb *report.Table) error) error {
+	plcRows, err := experiments.AblationPLCSegments(cfg, 150, []int{2, 4, 8, 16, 32})
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("segments_m", "mean_plc_mse", "mean_achieved_distortion_pct")
+	for _, r := range plcRows {
+		tb.MustAddRow(report.I(r.Segments), report.F(r.MeanPLCError, 3), report.F(r.MeanAchieved, 2))
+	}
+	if err := emit("ablation_plc", "Ablation — PLC segment budget at R=150", tb); err != nil {
+		return err
+	}
+
+	metricRows, err := experiments.AblationMetrics(cfg, 10)
+	if err != nil {
+		return err
+	}
+	tb = report.NewTable("metric", "mean_admissible_range", "mean_saving_pct")
+	for _, r := range metricRows {
+		tb.MustAddRow(r.Metric, report.F(r.MeanRange, 1), report.F(r.MeanSaving, 2))
+	}
+	if err := emit("ablation_metric", "Ablation — distortion metric (UQI vs SSIM) at 10% budget", tb); err != nil {
+		return err
+	}
+
+	eqRows, err := experiments.AblationEqualizeVsClip(cfg, []int{80, 120, 160, 200})
+	if err != nil {
+		return err
+	}
+	tb = report.NewTable("range", "hebs_merged_pct", "linear_merged_pct",
+		"hebs_uqi_pct", "linear_uqi_pct", "merged_advantage")
+	for _, r := range eqRows {
+		tb.MustAddRow(report.I(r.Range),
+			report.F(r.MeanHEBSMerged, 2), report.F(r.MeanLinearMerged, 2),
+			report.F(r.MeanHEBSUQI, 2), report.F(r.MeanLinearUQI, 2),
+			report.F(r.AdvantageRatio, 2))
+	}
+	if err := emit("ablation_equalize", "Ablation — GHE merging vs linear range reduction", tb); err != nil {
+		return err
+	}
+
+	eqVar, err := experiments.AblationEqualizers(cfg, 140)
+	if err != nil {
+		return err
+	}
+	tb = report.NewTable("method", "mean_distortion_pct", "mean_merged_pct", "mean_brightness_shift")
+	for _, r := range eqVar {
+		tb.MustAddRow(r.Method, report.F(r.MeanDistortion, 2),
+			report.F(r.MeanMerged, 2), report.F(r.MeanBrightShift, 2))
+	}
+	if err := emit("ablation_equalizers", "Ablation — equalization variants at R=140 (future work)", tb); err != nil {
+		return err
+	}
+
+	busRows, err := experiments.BusEncodings(cfg)
+	if err != nil {
+		return err
+	}
+	tb = report.NewTable("encoding", "transitions_per_word", "saving_vs_raw_pct", "extra_wires")
+	for _, r := range busRows {
+		tb.MustAddRow(r.Encoding, report.F(r.MeanTransPerWord, 3),
+			report.F(r.MeanSavingsVersusRaw, 1), report.I(r.ExtraWires))
+	}
+	if err := emit("bus_encodings", "Interface power — bus encodings of refs [2]/[3]", tb); err != nil {
+		return err
+	}
+
+	lcRows, err := experiments.AblationLCModels(cfg, 150, []int{2, 4, 10, 24})
+	if err != nil {
+		return err
+	}
+	tb = report.NewTable("cell_model", "segments_m", "mean_realization_mse")
+	for _, r := range lcRows {
+		tb.MustAddRow(r.Model, report.I(r.Segments), report.F(r.MeanMSE, 4))
+	}
+	return emit("ablation_lc", "Ablation — LC cell nonlinearity vs ladder tap count at R=150", tb)
+}
+
+// dumpFigure8 writes the original / transformed / compensated preview
+// for each Figure 8 image at both dynamic ranges.
+func dumpFigure8(cfg experiments.Config, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	size := cfg.ImageSize
+	if size <= 0 {
+		size = sipi.DefaultSize
+	}
+	for _, name := range experiments.Figure8Images {
+		img, err := sipi.Generate(name, size, size)
+		if err != nil {
+			return err
+		}
+		if err := imageio.Save(filepath.Join(dir, name+"_original.pgm"), img); err != nil {
+			return err
+		}
+		for _, r := range []int{220, 100} {
+			res, err := core.Process(img, core.Options{DynamicRange: r})
+			if err != nil {
+				return err
+			}
+			base := fmt.Sprintf("%s_r%d", name, r)
+			if err := imageio.Save(filepath.Join(dir, base+"_transformed.pgm"), res.Transformed); err != nil {
+				return err
+			}
+			prev, err := res.CompensatedPreview()
+			if err != nil {
+				return err
+			}
+			if err := imageio.Save(filepath.Join(dir, base+"_preview.pgm"), prev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig6Only(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig6a,fig6b"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 6a") || !strings.Contains(out, "Figure 6b") {
+		t.Errorf("missing sections:\n%s", out)
+	}
+	if strings.Contains(out, "Table 1") {
+		t.Error("-only filter leaked other sections")
+	}
+}
+
+func TestRunTable1WithCSV(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-only", "table1", "-size", "32", "-csv", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Average") {
+		t.Error("Table 1 average row missing")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "Name,") {
+		t.Errorf("CSV header wrong: %s", string(data)[:20])
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 21 { // header + 19 images + average
+		t.Errorf("CSV has %d lines, want 21", lines)
+	}
+}
+
+func TestRunFig8WithDump(t *testing.T) {
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig8", "-size", "32", "-dump", dir}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// 6 images × (1 original + 2 ranges × 2 files) = 30 files.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 30 {
+		t.Errorf("dump produced %d files, want 30", len(entries))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "lena_r100_preview.pgm")); err != nil {
+		t.Errorf("expected dump file missing: %v", err)
+	}
+}
+
+func TestRunCompareSection(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "compare", "-size", "32"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, m := range []string{"hebs", "cbcs", "dls-contrast", "dls-brightness"} {
+		if !strings.Contains(out, m) {
+			t.Errorf("comparison missing method %s", m)
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bogus"}, &sb); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunUnknownOnlyIsNoop(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "nonexistent"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "==") {
+		t.Error("unknown -only selector should produce no sections")
+	}
+}

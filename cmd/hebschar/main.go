@@ -1,0 +1,128 @@
+// Command hebschar prints the characterization data of Section 5.1:
+// the CCFL power model, the TFT panel power model, and the distortion
+// characteristic curve with its fitted polynomials — the data behind
+// Figures 6a, 6b and 7.
+//
+// Usage:
+//
+//	hebschar [-size N] [-samples N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hebs/internal/experiments"
+	"hebs/internal/power"
+	"hebs/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hebschar:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hebschar", flag.ContinueOnError)
+	fs.SetOutput(out)
+	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
+	samples := fs.Int("samples", 21, "sample count for the power curves")
+	save := fs.String("save", "", "write the fitted characteristic curve as JSON (for cmd/hebs -curve)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{ImageSize: *size}
+
+	if err := report.Section(out, "CCFL model (Eq. 11, LP064V1 coefficients)"); err != nil {
+		return err
+	}
+	c := power.DefaultCCFL
+	fmt.Fprintf(out, "Cs=%.4f  Alin=%.4f  Clin=%.4f  Asat=%.4f  Csat=%.4f\n\n",
+		c.Cs, c.Alin, c.Clin, c.Asat, c.Csat)
+	pts, err := experiments.Figure6a(cfg, *samples)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderCurve(pts, "beta", "power_W").WriteText(out); err != nil {
+		return err
+	}
+
+	if err := report.Section(out, "TFT panel model (Eq. 12, LP064V1 coefficients)"); err != nil {
+		return err
+	}
+	tft := power.DefaultTFT
+	fmt.Fprintf(out, "a=%.5f  b=%.5f  c=%.3f\n\n", tft.A, tft.B, tft.C)
+	pts, err = experiments.Figure6b(cfg, *samples)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderCurve(pts, "transmittance", "power_W").WriteText(out); err != nil {
+		return err
+	}
+
+	if err := report.Section(out, "Distortion characteristic curve (Section 3 / Figure 7)"); err != nil {
+		return err
+	}
+	curve, err := experiments.Figure7(cfg)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("range", "avg_fit_pct", "worst_fit_pct")
+	for _, r := range curve.Ranges {
+		tb.MustAddRow(report.I(r),
+			report.F(curve.PredictedDistortion(r, false), 2),
+			report.F(curve.PredictedDistortion(r, true), 2))
+	}
+	if err := tb.WriteText(out); err != nil {
+		return err
+	}
+
+	if len(curve.AvgPoly) > 0 {
+		fmt.Fprintf(out, "\nquadratic fits (MATLAB-style, D(range) = c0 + c1·R + c2·R²):\n")
+		fmt.Fprintf(out, "  entire dataset: %+.5g %+.5g·R %+.5g·R²\n",
+			curve.AvgPoly[0], curve.AvgPoly[1], curve.AvgPoly[2])
+		fmt.Fprintf(out, "  worst case:     %+.5g %+.5g·R %+.5g·R²\n",
+			curve.WorstPoly[0], curve.WorstPoly[1], curve.WorstPoly[2])
+		var xs, ys []float64
+		for _, sm := range curve.Samples {
+			xs = append(xs, float64(sm.Range))
+			ys = append(ys, sm.Distortion)
+		}
+		if r2, err := curve.AvgPoly.RSquared(xs, ys); err == nil {
+			fmt.Fprintf(out, "  entire-dataset fit R² over the cloud: %.3f\n", r2)
+		}
+	}
+
+	if err := report.Section(out, "Inverse lookup: distortion budget -> minimum admissible range"); err != nil {
+		return err
+	}
+	tb = report.NewTable("budget_pct", "range_avg_fit", "range_worst_fit", "beta_avg_fit")
+	for _, budget := range []float64{2, 5, 10, 15, 20, 30} {
+		rAvg, err := curve.MinRange(budget, false)
+		if err != nil {
+			return err
+		}
+		rWorst, err := curve.MinRange(budget, true)
+		if err != nil {
+			return err
+		}
+		tb.MustAddRow(report.F(budget, 0), report.I(rAvg), report.I(rWorst),
+			report.F(float64(rAvg)/255, 3))
+	}
+	if err := tb.WriteText(out); err != nil {
+		return err
+	}
+	if *save != "" {
+		if err := curve.SaveJSON(*save); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote characteristic curve to %s\n", *save)
+	}
+	fmt.Fprintln(out)
+	return nil
+}

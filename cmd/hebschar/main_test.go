@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsAllSections(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-size", "32", "-samples", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"CCFL model", "TFT panel model",
+		"Distortion characteristic curve", "Inverse lookup",
+		"Cs=0.8234", "a=0.02449",
+		"quadratic fits",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSampleCountRespected(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-size", "32", "-samples", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Three beta samples: 0, 0.5, 1.
+	if !strings.Contains(sb.String(), "0.5000") {
+		t.Error("midpoint sample missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-samples", "1"}, &sb); err == nil {
+		t.Error("too few samples should error")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Error("unknown flag should error")
+	}
+}
+
+func TestRunSaveCurve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "curve.json")
+	var sb strings.Builder
+	if err := run([]string{"-size", "32", "-samples", "3", "-save", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("curve not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"ranges"`) {
+		t.Error("curve JSON missing ranges")
+	}
+}

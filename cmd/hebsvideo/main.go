@@ -1,0 +1,170 @@
+// Command hebsvideo runs per-frame HEBS over a synthetic video clip
+// with the temporal backlight policy and reports the β schedule,
+// flicker metrics and energy on the simulated LCD subsystem — the
+// evaluation for the paper's future-work direction of video backlight
+// scaling.
+//
+// Usage:
+//
+//	hebsvideo [-clip pan|fade|cut|mixed] [-frames N] [-budget PCT]
+//	          [-maxstep F] [-cutdetect] [-size N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hebs/internal/core"
+	"hebs/internal/gray"
+	"hebs/internal/report"
+	"hebs/internal/sipi"
+	"hebs/internal/video"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hebsvideo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hebsvideo", flag.ContinueOnError)
+	fs.SetOutput(out)
+	clipKind := fs.String("clip", "mixed", "clip type: pan, fade, cut or mixed")
+	frames := fs.Int("frames", 12, "frame count for pan/fade clips")
+	budget := fs.Float64("budget", 10, "per-frame distortion budget in percent")
+	maxStep := fs.Float64("maxstep", 0.04, "maximum per-frame dimming step (0 disables smoothing)")
+	cutDetect := fs.Bool("cutdetect", true, "use histogram scene-cut detection for snapping")
+	reuse := fs.Float64("reuse", 0, "static-scene reuse threshold in EMD levels (0 disables)")
+	size := fs.Int("size", 96, "frame edge length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *budget <= 0 {
+		return fmt.Errorf("budget must be positive, got %v", *budget)
+	}
+
+	clip, err := buildClip(*clipKind, *frames, *size)
+	if err != nil {
+		return err
+	}
+	if *reuse < 0 {
+		return fmt.Errorf("negative -reuse %v", *reuse)
+	}
+	pol := video.Policy{
+		MaxStep:        *maxStep,
+		ReuseThreshold: *reuse,
+		Options:        core.Options{MaxDistortionPercent: *budget, ExactSearch: true},
+	}
+	var res *video.Result
+	if *cutDetect {
+		res, err = video.ProcessWithCutDetection(clip, pol, 0)
+	} else {
+		res, err = video.Process(clip, pol)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "clip %q: %d frames of %dx%d, budget %.0f%%, maxstep %.3f, cutdetect %v\n\n",
+		*clipKind, len(clip.Frames), *size, *size, *budget, *maxStep, *cutDetect)
+
+	tb := report.NewTable("frame", "target_beta", "applied_beta", "range", "distortion_pct", "saving_pct")
+	for i, f := range res.Frames {
+		tb.MustAddRow(report.I(i), report.F(f.TargetBeta, 3), report.F(f.Beta, 3),
+			report.I(f.Range), report.F(f.Distortion, 2), report.F(f.SavingPercent, 1))
+	}
+	if err := tb.WriteText(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nmean saving:   %.1f%%\n", res.MeanSaving)
+	fmt.Fprintf(out, "flicker:       mean |Δβ| %.4f, max |Δβ| %.4f\n",
+		res.MeanAbsDeltaBeta, res.MaxAbsDeltaBeta)
+
+	cuts, err := video.DetectCuts(clip, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "detected cuts: %v\n", cuts)
+	return nil
+}
+
+// buildClip assembles the requested synthetic sequence.
+func buildClip(kind string, frames, size int) (*video.Sequence, error) {
+	if frames < 2 {
+		return nil, fmt.Errorf("need at least 2 frames, got %d", frames)
+	}
+	gen := func(name string) (*gray.Image, error) {
+		return sipi.Generate(name, size, size)
+	}
+	switch kind {
+	case "pan":
+		base, err := sipi.Generate("autumn", size*2, size)
+		if err != nil {
+			return nil, err
+		}
+		return video.Pan(base, size, size, frames, size/8+1)
+	case "fade":
+		a, err := gen("splash")
+		if err != nil {
+			return nil, err
+		}
+		b, err := gen("sail")
+		if err != nil {
+			return nil, err
+		}
+		return video.Fade(a, b, frames)
+	case "cut":
+		a, err := gen("splash")
+		if err != nil {
+			return nil, err
+		}
+		b, err := gen("sail")
+		if err != nil {
+			return nil, err
+		}
+		half := frames / 2
+		if half < 1 {
+			half = 1
+		}
+		mk := func(img *gray.Image, n int) []*gray.Image {
+			out := make([]*gray.Image, n)
+			for i := range out {
+				out[i] = img
+			}
+			return out
+		}
+		s1, err := video.NewSequence(mk(a, half))
+		if err != nil {
+			return nil, err
+		}
+		s2, err := video.NewSequence(mk(b, frames-half))
+		if err != nil {
+			return nil, err
+		}
+		return video.Cut(s1, s2)
+	case "mixed":
+		pan, err := buildClip("pan", frames/3+2, size)
+		if err != nil {
+			return nil, err
+		}
+		fade, err := buildClip("fade", frames/3+2, size)
+		if err != nil {
+			return nil, err
+		}
+		cut, err := buildClip("cut", frames/3+2, size)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := video.Cut(pan, fade)
+		if err != nil {
+			return nil, err
+		}
+		return video.Cut(seq, cut)
+	default:
+		return nil, fmt.Errorf("unknown clip kind %q", kind)
+	}
+}

@@ -1,0 +1,133 @@
+// Hardware: program the LCD reference driver by hand, the Figure 5
+// walk-through. Shows the limits of the conventional clamped divider
+// (Figure 5a, single-band transfer functions only) against the
+// hierarchical k-source divider (Figure 5b) that realizes HEBS's
+// multi-band Λ, and how DAC resolution affects realization fidelity.
+//
+//	go run ./examples/hardware
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hebs/internal/driver"
+	"hebs/internal/equalize"
+	"hebs/internal/histogram"
+	"hebs/internal/plc"
+	"hebs/internal/power"
+	"hebs/internal/sipi"
+	"hebs/internal/transform"
+)
+
+func main() {
+	img, err := sipi.Generate("splash", 128, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const targetRange = 120
+	beta, err := power.BetaForRange(targetRange, transform.Levels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The transform HEBS wants: equalize then coarsen to the driver's
+	// segment budget.
+	ghe, err := equalize.SolveRange(histogram.Of(img), targetRange)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := driver.DefaultConfig
+	coarse, err := plc.Coarsen(ghe.Points(), cfg.Sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lambda, err := coarse.LUT()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("target: dynamic range %d, β = %.3f, %d-segment Λ\n\n",
+		targetRange, beta, len(coarse.Points)-1)
+
+	// --- Figure 5b: the hierarchical programmable divider. ---
+	prog, err := driver.ProgramHierarchical(cfg, coarse.Points, beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hierarchical divider (Figure 5b):")
+	for i, tap := range prog.Taps {
+		fmt.Printf("  V%-2d at code %3d -> %.4f V\n", i, tap.Code, tap.Voltage)
+	}
+	mse, err := prog.RealizationError(lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  realization MSE vs Λ: %.3f levels²\n\n", mse)
+
+	// --- Figure 5a: the conventional clamped divider can only realize
+	// a single band. Use the same endpoints as Λ's active region and
+	// compare the error. ---
+	gl, gu := activeRegion(coarse.Points)
+	single, err := driver.ProgramSingleBand(cfg, gl, gu, beta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mseSingle, err := single.RealizationError(lambda)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional clamped divider (Figure 5a), band [%d,%d]:\n", gl, gu)
+	fmt.Printf("  realization MSE vs Λ: %.3f levels² (%.1fx worse)\n\n",
+		mseSingle, mseSingle/maxf(mse, 1e-9))
+
+	// --- DAC resolution sweep. ---
+	fmt.Println("DAC resolution sweep (hierarchical divider):")
+	for _, bits := range []int{4, 6, 8, 10, 0} {
+		c := cfg
+		c.DACBits = bits
+		p, err := driver.ProgramHierarchical(c, coarse.Points, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := p.RealizationError(lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%2d-bit", bits)
+		if bits == 0 {
+			label = " ideal"
+		}
+		fmt.Printf("  %s DAC: MSE %.4f levels²\n", label, m)
+	}
+}
+
+// activeRegion finds the first and last breakpoints where Λ actually
+// slopes — the single band a Figure 5a driver would have to use.
+func activeRegion(pts []transform.Point) (gl, gu int) {
+	gl, gu = 0, transform.Levels-1
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y > pts[0].Y {
+			gl = pts[i-1].X
+			break
+		}
+	}
+	top := pts[len(pts)-1].Y
+	for i := len(pts) - 2; i >= 0; i-- {
+		if pts[i].Y < top {
+			gu = pts[i+1].X
+			break
+		}
+	}
+	if gl >= gu {
+		gl, gu = 0, transform.Levels-1
+	}
+	return gl, gu
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

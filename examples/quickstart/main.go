@@ -1,0 +1,61 @@
+// Quickstart: run HEBS end-to-end on one image.
+//
+// The flow mirrors Figure 4 of the paper: pick a distortion budget,
+// let the library find the admissible dynamic range and backlight
+// factor, equalize + coarsen the transform, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hebs/internal/core"
+	"hebs/internal/driver"
+	"hebs/internal/sipi"
+)
+
+func main() {
+	// Any 8-bit grayscale image works; the synthetic benchmark suite
+	// gives us a deterministic one without external files.
+	img, err := sipi.Generate("lena", 128, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "I can tolerate 10% distortion — save as much backlight power as
+	// possible." Driver config included so we also get the hardware
+	// voltage program.
+	cfg := driver.DefaultConfig
+	res, err := core.Process(img, core.Options{
+		MaxDistortionPercent: 10,
+		ExactSearch:          true,
+		Driver:               &cfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("HEBS quickstart")
+	fmt.Println("---------------")
+	fmt.Printf("distortion budget:   10%%\n")
+	fmt.Printf("admissible range R:  %d of 255\n", res.Range)
+	fmt.Printf("backlight factor β:  %.3f (backlight dimmed to %.0f%%)\n",
+		res.Beta, res.Beta*100)
+	fmt.Printf("achieved distortion: %.2f%%\n", res.AchievedDistortion)
+	fmt.Printf("power saving:        %.1f%% (%.3f W -> %.3f W)\n",
+		res.PowerSavingPercent, res.PowerBefore, res.PowerAfter)
+
+	// The transformation the hardware realizes: a piecewise-linear Λ
+	// with one segment per controllable reference voltage.
+	fmt.Printf("\nΛ breakpoints (input code -> output level):\n")
+	for _, p := range res.Breakpoints {
+		fmt.Printf("  %3d -> %6.1f\n", p.X, p.Y)
+	}
+
+	fmt.Printf("\nPLRD source voltages (Eq. 10, Vdd=%.1fV):\n", cfg.Vdd)
+	for i, v := range res.Program.SourceVoltages() {
+		fmt.Printf("  V%-2d = %.3f V\n", i, v)
+	}
+}

@@ -1,0 +1,3 @@
+module hebs
+
+go 1.22

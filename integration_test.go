@@ -1,0 +1,252 @@
+// Integration tests exercising cross-module flows end to end: the full
+// HEBS pipeline into the hardware model and LCD simulator, file I/O
+// round trips, the budget guarantee across the suite, and determinism
+// of the whole evaluation.
+package hebs
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hebs/internal/baseline"
+	"hebs/internal/chart"
+	"hebs/internal/core"
+	"hebs/internal/driver"
+	"hebs/internal/experiments"
+	"hebs/internal/imageio"
+	"hebs/internal/lcd"
+	"hebs/internal/power"
+	"hebs/internal/sipi"
+	"hebs/internal/video"
+)
+
+func TestEndToEndImageToDisplay(t *testing.T) {
+	// image -> HEBS -> PLRD program -> LCD simulator -> luminance.
+	img, err := sipi.Generate("peppers", 96, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := driver.DefaultConfig
+	res, err := core.Process(img, core.Options{
+		MaxDistortionPercent: 10,
+		ExactSearch:          true,
+		Driver:               &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dispCfg := lcd.DefaultConfig()
+	dispCfg.Width, dispCfg.Height = 96, 96
+	display, err := lcd.New(dispCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := display.ShowFrame(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := display.LoadProgram(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	dimmed, err := display.ShowFrame(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The simulator's power saving must track the pipeline's prediction.
+	// The simulator includes DC-AC converter loss on the backlight
+	// (which the analytic model omits), so allow a proportional band.
+	simSaving := 100 * (1 - dimmed.TotalPower/full.TotalPower)
+	if math.Abs(simSaving-res.PowerSavingPercent) > 8 {
+		t.Errorf("simulator saving %.1f%% vs pipeline %.1f%%", simSaving, res.PowerSavingPercent)
+	}
+	// Displayed luminance approximates Λ(F).
+	want := res.Lambda.Apply(img)
+	worst := 0
+	for i := range want.Pix {
+		d := int(dimmed.Luminance.Pix[i]) - int(want.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 4 {
+		t.Errorf("hardware luminance off by %d levels from Λ(F)", worst)
+	}
+}
+
+func TestEndToEndFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	orig, err := sipi.Generate("girl", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "in.png")
+	if err := imageio.Save(in, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := imageio.Load(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Equal(loaded) {
+		t.Fatal("PNG round trip lost data")
+	}
+	res, err := core.Process(loaded, core.Options{DynamicRange: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "out.pgm")
+	if err := imageio.Save(out, res.Transformed); err != nil {
+		t.Fatal(err)
+	}
+	back, err := imageio.Load(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Transformed.Equal(back) {
+		t.Error("PGM round trip of the transformed image lost data")
+	}
+}
+
+func TestBudgetGuaranteeAcrossSuite(t *testing.T) {
+	// The exact-search mode's contract: the per-image predicted
+	// distortion never exceeds the budget (unless even R=255 cannot
+	// meet it, which does not happen at these budgets).
+	suite, err := sipi.Suite(48, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []float64{5, 15} {
+		for _, ni := range suite {
+			res, err := core.Process(ni.Image, core.Options{
+				MaxDistortionPercent: budget,
+				ExactSearch:          true,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", ni.Name, err)
+			}
+			if res.PredictedDistortion > budget+1e-9 && res.Range < 255 {
+				t.Errorf("%s at %v%%: predicted %v exceeds budget",
+					ni.Name, budget, res.PredictedDistortion)
+			}
+		}
+	}
+}
+
+func TestDeterminismOfFullEvaluation(t *testing.T) {
+	cfg := experiments.Config{ImageSize: 32}
+	a, err := experiments.Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		for j := range a.Rows[i].Savings {
+			if a.Rows[i].Savings[j] != b.Rows[i].Savings[j] {
+				t.Fatalf("run-to-run divergence at %s budget %d", a.Rows[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestMethodsShareDistortionContract(t *testing.T) {
+	// HEBS and both baselines, given the same budget and metric, must
+	// each measure within it — so the power comparison is fair.
+	img, err := sipi.Generate("west", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 12.0
+	h, err := core.Process(img, core.Options{MaxDistortionPercent: budget, ExactSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := baseline.CBCS(img, budget, nil, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := baseline.DLSContrast(img, budget, nil, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.PredictedDistortion > budget+1e-9 {
+		t.Errorf("HEBS predicted %v over budget", h.PredictedDistortion)
+	}
+	if cb.Distortion > budget+1e-9 && cb.Beta < 1 {
+		t.Errorf("CBCS distortion %v over budget", cb.Distortion)
+	}
+	if dl.Distortion > budget+1e-9 && dl.Beta < 1 {
+		t.Errorf("DLS distortion %v over budget", dl.Distortion)
+	}
+}
+
+func TestVideoPipelineEnergySaving(t *testing.T) {
+	base, err := sipi.Generate("autumn", 128, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip, err := video.Pan(base, 64, 64, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := video.Process(clip, video.Policy{
+		MaxStep: 0.05,
+		Options: core.Options{MaxDistortionPercent: 10, ExactSearch: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanSaving < 20 {
+		t.Errorf("video pipeline saved only %.1f%%", res.MeanSaving)
+	}
+	for i, f := range res.Frames {
+		if f.Distortion > 10+5 { // smoothing can only reduce distortion
+			t.Errorf("frame %d distortion %v far over budget", i, f.Distortion)
+		}
+	}
+}
+
+func TestCurveLookupConservativeVsExact(t *testing.T) {
+	// The worst-case global curve must never admit a smaller range than
+	// the image's own exact search (it bounds all benchmark images).
+	curve, err := chart.Build(mustSuite(t, 48), chart.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lena", "pout", "baboon"} {
+		img, err := sipi.Generate(name, 48, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := chart.MinRangeExact(img, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, err := curve.MinRange(10, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow the sweep-grid granularity: the curve only knows the ten
+		// swept ranges.
+		if worst < exact-25 {
+			t.Errorf("%s: worst-case curve range %d below exact %d", name, worst, exact)
+		}
+	}
+}
+
+func mustSuite(t *testing.T, size int) []sipi.NamedImage {
+	t.Helper()
+	suite, err := sipi.Suite(size, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite
+}

@@ -1,0 +1,311 @@
+package baseline
+
+import (
+	"testing"
+
+	"hebs/internal/chart"
+	"hebs/internal/core"
+	"hebs/internal/power"
+	"hebs/internal/sipi"
+	"hebs/internal/transform"
+)
+
+func img(t *testing.T, name string) *sipi.NamedImage {
+	t.Helper()
+	m, err := sipi.Generate(name, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &sipi.NamedImage{Name: name, Image: m}
+}
+
+func TestDLSBrightnessMeetsBudget(t *testing.T) {
+	ni := img(t, "lena")
+	res, err := DLSBrightness(ni.Image, 10, nil, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "dls-brightness" {
+		t.Errorf("method = %q", res.Method)
+	}
+	if res.Distortion > 10+1e-9 && res.Beta < 1 {
+		t.Errorf("distortion %v exceeds budget", res.Distortion)
+	}
+	if res.Beta <= 0 || res.Beta > 1 {
+		t.Errorf("β = %v out of range", res.Beta)
+	}
+	if !res.LUT.IsMonotone() {
+		t.Error("DLS LUT must be monotone")
+	}
+}
+
+func TestDLSContrastMeetsBudget(t *testing.T) {
+	ni := img(t, "peppers")
+	res, err := DLSContrast(ni.Image, 10, nil, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distortion > 10+1e-9 && res.Beta < 1 {
+		t.Errorf("distortion %v exceeds budget", res.Distortion)
+	}
+	if res.PowerSavingPercent < 0 {
+		t.Errorf("negative saving %v", res.PowerSavingPercent)
+	}
+}
+
+func TestDLSOptimality(t *testing.T) {
+	// One code deeper must blow the budget (bisection minimality).
+	ni := img(t, "girl")
+	const budget = 8.0
+	res, err := DLSContrast(ni.Image, budget, nil, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int(res.Beta*255 + 0.5)
+	if k > 1 {
+		lut, err := dlsLUT(k-1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := distortionOf(ni, lut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= budget {
+			t.Errorf("β could have been one code lower (distortion %v <= %v)", d, budget)
+		}
+	}
+}
+
+func TestCBCSMeetsBudgetAndBeatsOrMatchesDLS(t *testing.T) {
+	for _, name := range []string{"lena", "splash", "pout"} {
+		ni := img(t, name)
+		const budget = 10.0
+		cb, err := CBCS(ni.Image, budget, nil, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cb.Distortion > budget+1e-9 && cb.Beta < 1 {
+			t.Errorf("%s: CBCS distortion %v exceeds budget", name, cb.Distortion)
+		}
+		if cb.Band.Hi-cb.Band.Lo != int(cb.Beta*255+0.5) {
+			t.Errorf("%s: band width %d inconsistent with β %v",
+				name, cb.Band.Hi-cb.Band.Lo, cb.Beta)
+		}
+		dl, err := DLSContrast(ni.Image, budget, nil, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two-sided truncation generalizes one-sided: CBCS dimming is at
+		// least as deep (allow 1 code of search slack).
+		if cb.Beta > dl.Beta+1.5/255 {
+			t.Errorf("%s: CBCS β %v worse than DLS β %v", name, cb.Beta, dl.Beta)
+		}
+	}
+}
+
+func TestHEBSBeatsBaselines(t *testing.T) {
+	// The paper's headline comparison at matched distortion budget.
+	const budget = 10.0
+	var hebsSum, cbcsSum, dlsSum float64
+	names := []string{"lena", "peppers", "housea", "girl"}
+	for _, name := range names {
+		ni := img(t, name)
+		h, err := core.Process(ni.Image, core.Options{MaxDistortionPercent: budget, ExactSearch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := CBCS(ni.Image, budget, nil, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl, err := DLSContrast(ni.Image, budget, nil, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hebsSum += h.PowerSavingPercent
+		cbcsSum += cb.PowerSavingPercent
+		dlsSum += dl.PowerSavingPercent
+	}
+	n := float64(len(names))
+	if hebsSum/n <= cbcsSum/n {
+		t.Errorf("HEBS average saving %v%% does not beat CBCS %v%%", hebsSum/n, cbcsSum/n)
+	}
+	if cbcsSum/n < dlsSum/n-1 {
+		t.Errorf("CBCS average saving %v%% clearly below DLS %v%%", cbcsSum/n, dlsSum/n)
+	}
+}
+
+func TestCBCSNativeMeetsClipBudget(t *testing.T) {
+	ni := img(t, "peppers")
+	res, err := CBCSNative(ni.Image, 5, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "cbcs-native" {
+		t.Errorf("method = %q", res.Method)
+	}
+	clipped := 0
+	for _, p := range ni.Image.Pix {
+		if int(p) < res.Band.Lo || int(p) > res.Band.Hi {
+			clipped++
+		}
+	}
+	frac := 100 * float64(clipped) / float64(len(ni.Image.Pix))
+	if frac > 5+1e-9 {
+		t.Errorf("clipped fraction %v%% exceeds 5%%", frac)
+	}
+}
+
+func TestCBCSNativeMinimality(t *testing.T) {
+	// One level narrower must violate the clip budget.
+	ni := img(t, "autumn")
+	const budget = 8.0
+	res, err := CBCSNative(ni.Image, budget, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := res.Band.Hi - res.Band.Lo
+	if width <= 1 {
+		return
+	}
+	// Best possible mass for width-1.
+	best := 0
+	counts := make([]int, 256)
+	for _, p := range ni.Image.Pix {
+		counts[p]++
+	}
+	prefix := make([]int, 257)
+	for v := 0; v < 256; v++ {
+		prefix[v+1] = prefix[v] + counts[v]
+	}
+	w := width - 1
+	for gl := 0; gl+w <= 255; gl++ {
+		if m := prefix[gl+w+1] - prefix[gl]; m > best {
+			best = m
+		}
+	}
+	clipped := 100 * float64(len(ni.Image.Pix)-best) / float64(len(ni.Image.Pix))
+	if clipped <= budget {
+		t.Errorf("width-1 band already meets the budget (%v%%); not minimal", clipped)
+	}
+}
+
+func TestCBCSNativeUsuallyDimsLessThanPerceptual(t *testing.T) {
+	// The Section 2 claim: the pixel-count measure overestimates
+	// distortion, so the native policy keeps β higher on average.
+	var nativeBeta, uqiBeta float64
+	names := []string{"lena", "splash", "housea", "girl", "west"}
+	for _, name := range names {
+		ni := img(t, name)
+		n, err := CBCSNative(ni.Image, 10, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := CBCS(ni.Image, 10, nil, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nativeBeta += n.Beta
+		uqiBeta += u.Beta
+	}
+	if nativeBeta < uqiBeta {
+		t.Errorf("native mean β %v below perceptual %v; expected the native measure to be conservative",
+			nativeBeta/float64(len(names)), uqiBeta/float64(len(names)))
+	}
+}
+
+func TestCBCSNativeValidation(t *testing.T) {
+	if _, err := CBCSNative(nil, 5, power.DefaultSubsystem); err == nil {
+		t.Error("nil image should error")
+	}
+	ni := img(t, "lena")
+	if _, err := CBCSNative(ni.Image, -2, power.DefaultSubsystem); err == nil {
+		t.Error("negative budget should error")
+	}
+}
+
+func TestSaturatedPixelPolicy(t *testing.T) {
+	ni := img(t, "autumn")
+	res, err := SaturatedPixelPolicy(ni.Image, 5, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "dls-saturation" {
+		t.Errorf("method = %q", res.Method)
+	}
+	// At most 5% of pixels may exceed the preserved range.
+	count := 0
+	for _, p := range ni.Image.Pix {
+		if int(p) > res.Band.Hi {
+			count++
+		}
+	}
+	frac := 100 * float64(count) / float64(len(ni.Image.Pix))
+	if frac > 5 {
+		t.Errorf("saturated fraction %v%% exceeds 5%%", frac)
+	}
+	// Tighter saturation budget dims less.
+	tight, err := SaturatedPixelPolicy(ni.Image, 0.5, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Beta < res.Beta {
+		t.Errorf("tighter budget gave deeper dimming: %v < %v", tight.Beta, res.Beta)
+	}
+}
+
+func TestZeroBudgetIsIdentityish(t *testing.T) {
+	ni := img(t, "west")
+	res, err := DLSContrast(ni.Image, 0, nil, power.DefaultSubsystem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero distortion tolerance: the chosen transform must be truly
+	// lossless on this image. (β can still drop below 1 when the image
+	// has no pixels in the saturated band — free dimming.)
+	if res.Distortion > 1e-9 {
+		t.Errorf("zero budget but distortion %v", res.Distortion)
+	}
+	for _, p := range ni.Image.Pix {
+		if int(p) > res.Band.Hi {
+			t.Fatalf("pixel %d saturates under a zero budget", p)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ni := img(t, "lena")
+	if _, err := DLSBrightness(nil, 5, nil, power.DefaultSubsystem); err == nil {
+		t.Error("nil image should error")
+	}
+	if _, err := DLSContrast(ni.Image, -1, nil, power.DefaultSubsystem); err == nil {
+		t.Error("negative budget should error")
+	}
+	if _, err := CBCS(nil, 5, nil, power.DefaultSubsystem); err == nil {
+		t.Error("nil image should error")
+	}
+	if _, err := SaturatedPixelPolicy(ni.Image, -3, power.DefaultSubsystem); err == nil {
+		t.Error("negative budget should error")
+	}
+}
+
+func TestLargerBudgetNeverSavesLess(t *testing.T) {
+	ni := img(t, "elaine")
+	prev := -1.0
+	for _, budget := range []float64{2, 8, 25} {
+		res, err := CBCS(ni.Image, budget, nil, power.DefaultSubsystem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PowerSavingPercent < prev-1e-9 {
+			t.Errorf("saving dropped at budget %v: %v < %v", budget, res.PowerSavingPercent, prev)
+		}
+		prev = res.PowerSavingPercent
+	}
+}
+
+// distortionOf is a test helper around chart.TransformDistortion.
+func distortionOf(ni *sipi.NamedImage, lut *transform.LUT) (float64, error) {
+	return chart.TransformDistortion(ni.Image, lut, nil)
+}

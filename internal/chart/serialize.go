@@ -1,0 +1,105 @@
+// Curve serialization. The paper's flow computes the distortion
+// characteristic curve offline ("resorting to standard regression
+// analysis techniques") and ships it to the device as a small lookup
+// table; these helpers persist a fitted Curve as JSON so a runtime can
+// load it without the benchmark suite.
+package chart
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"hebs/internal/fit"
+)
+
+// curveJSON is the serialized form: the fitted per-range points are
+// enough to reconstruct the lookup behaviour exactly; the raw sample
+// cloud is optional and omitted by default to keep device payloads
+// small.
+type curveJSON struct {
+	Ranges    []int       `json:"ranges"`
+	Avg       []fit.Point `json:"avg"`
+	Worst     []fit.Point `json:"worst"`
+	AvgPoly   []float64   `json:"avg_poly,omitempty"`
+	WorstPoly []float64   `json:"worst_poly,omitempty"`
+	Samples   []Sample    `json:"samples,omitempty"`
+}
+
+// WriteJSON serializes the curve. includeSamples controls whether the
+// full Figure 7 point cloud is embedded.
+func (c *Curve) WriteJSON(w io.Writer, includeSamples bool) error {
+	if c == nil || c.Avg == nil || c.Worst == nil {
+		return errors.New("chart: incomplete curve")
+	}
+	payload := curveJSON{
+		Ranges:    c.Ranges,
+		Avg:       c.Avg.Points(),
+		Worst:     c.Worst.Points(),
+		AvgPoly:   c.AvgPoly,
+		WorstPoly: c.WorstPoly,
+	}
+	if includeSamples {
+		payload.Samples = c.Samples
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(payload)
+}
+
+// ReadJSON reconstructs a curve serialized by WriteJSON.
+func ReadJSON(r io.Reader) (*Curve, error) {
+	var payload curveJSON
+	if err := json.NewDecoder(r).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("chart: decode curve: %w", err)
+	}
+	if len(payload.Ranges) == 0 || len(payload.Avg) == 0 || len(payload.Worst) == 0 {
+		return nil, errors.New("chart: serialized curve incomplete")
+	}
+	for i := 1; i < len(payload.Ranges); i++ {
+		if payload.Ranges[i] <= payload.Ranges[i-1] {
+			return nil, errors.New("chart: serialized ranges not increasing")
+		}
+	}
+	avg, err := fit.NewLinear(payload.Avg)
+	if err != nil {
+		return nil, err
+	}
+	worst, err := fit.NewLinear(payload.Worst)
+	if err != nil {
+		return nil, err
+	}
+	return &Curve{
+		Samples:   payload.Samples,
+		Ranges:    payload.Ranges,
+		Avg:       avg,
+		Worst:     worst,
+		AvgPoly:   payload.AvgPoly,
+		WorstPoly: payload.WorstPoly,
+	}, nil
+}
+
+// SaveJSON writes the curve to a file (without the sample cloud).
+func (c *Curve) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	writeErr := c.WriteJSON(f, false)
+	if closeErr := f.Close(); writeErr == nil {
+		writeErr = closeErr
+	}
+	return writeErr
+}
+
+// LoadJSON reads a curve file written by SaveJSON.
+func LoadJSON(path string) (*Curve, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,122 @@
+package chart
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCurveJSONRoundTrip(t *testing.T) {
+	orig, err := Build(smallSuite(t), Options{Ranges: []int{60, 120, 180, 240}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lookup behaviour must survive exactly.
+	for _, budget := range []float64{2, 5, 10, 20} {
+		for _, worst := range []bool{false, true} {
+			a, err1 := orig.MinRange(budget, worst)
+			b, err2 := back.MinRange(budget, worst)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("MinRange errors: %v %v", err1, err2)
+			}
+			if a != b {
+				t.Errorf("budget %v worst=%v: lookup %d != %d after round trip",
+					budget, worst, a, b)
+			}
+		}
+	}
+	for _, r := range orig.Ranges {
+		if orig.PredictedDistortion(r, false) != back.PredictedDistortion(r, false) {
+			t.Errorf("avg prediction differs at R=%d", r)
+		}
+		if orig.PredictedDistortion(r, true) != back.PredictedDistortion(r, true) {
+			t.Errorf("worst prediction differs at R=%d", r)
+		}
+	}
+	if len(back.Samples) != len(orig.Samples) {
+		t.Errorf("samples lost: %d vs %d", len(back.Samples), len(orig.Samples))
+	}
+}
+
+func TestCurveJSONWithoutSamples(t *testing.T) {
+	orig, err := Build(smallSuite(t), Options{Ranges: []int{80, 160, 240}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"samples"`) {
+		t.Error("samples embedded despite includeSamples=false")
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != 0 {
+		t.Error("unexpected samples after compact round trip")
+	}
+	a, _ := orig.MinRange(5, false)
+	b, _ := back.MinRange(5, false)
+	if a != b {
+		t.Errorf("compact lookup %d != %d", b, a)
+	}
+}
+
+func TestCurveFileRoundTrip(t *testing.T) {
+	orig, err := Build(smallSuite(t), Options{Ranges: []int{100, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "curve.json")
+	if err := orig.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := orig.MinRange(10, true)
+	b, _ := back.MinRange(10, true)
+	if a != b {
+		t.Errorf("file round trip lookup %d != %d", b, a)
+	}
+}
+
+func TestReadJSONValidation(t *testing.T) {
+	cases := []string{
+		``,
+		`{}`,
+		`{"ranges":[100],"avg":[],"worst":[]}`,
+		`{"ranges":[100,100],"avg":[{"X":100,"Y":5}],"worst":[{"X":100,"Y":9}]}`,
+		`not json`,
+	}
+	for i, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestWriteJSONIncomplete(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Curve{}).WriteJSON(&buf, false); err == nil {
+		t.Error("incomplete curve should error")
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,77 @@
+// Batch processing: photo-gallery style workloads process many images
+// with the same options; the images are independent, so the pipeline
+// fans out across CPUs with results in input order.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hebs/internal/gray"
+)
+
+// ProcessBatch runs Process over every image concurrently (bounded by
+// the CPU count) and returns results in input order. The first error
+// aborts the batch (remaining in-flight work drains first). When the
+// options use the curve-lookup path with a nil Curve, the shared
+// default curve is built once before the fan-out so workers don't race
+// to construct it.
+func ProcessBatch(imgs []*gray.Image, opts Options) ([]*Result, error) {
+	if len(imgs) == 0 {
+		return nil, errors.New("core: empty batch")
+	}
+	for i, img := range imgs {
+		if img == nil {
+			return nil, fmt.Errorf("core: nil image at index %d", i)
+		}
+	}
+	if opts.DynamicRange == 0 && !opts.ExactSearch && opts.Curve == nil {
+		// Warm the shared curve outside the workers (sync.Once inside
+		// DefaultCurve makes this safe either way; doing it here keeps
+		// the first worker from paying the whole build).
+		if _, err := DefaultCurve(); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]*Result, len(imgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(imgs) {
+		workers = len(imgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Process(imgs[i], opts)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: batch image %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range imgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

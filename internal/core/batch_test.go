@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"hebs/internal/gray"
+	"hebs/internal/sipi"
+)
+
+func TestProcessBatchMatchesSerial(t *testing.T) {
+	var imgs []*gray.Image
+	for _, n := range []string{"lena", "peppers", "splash", "baboon", "pout"} {
+		imgs = append(imgs, testImg(t, n))
+	}
+	opts := Options{MaxDistortionPercent: 10, ExactSearch: true}
+	batch, err := ProcessBatch(imgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(imgs) {
+		t.Fatalf("results = %d, want %d", len(batch), len(imgs))
+	}
+	for i, img := range imgs {
+		serial, err := Process(img, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Range != serial.Range || batch[i].Beta != serial.Beta {
+			t.Errorf("image %d: batch (%d,%v) != serial (%d,%v)",
+				i, batch[i].Range, batch[i].Beta, serial.Range, serial.Beta)
+		}
+		if batch[i].PowerSavingPercent != serial.PowerSavingPercent {
+			t.Errorf("image %d: batch saving %v != serial %v",
+				i, batch[i].PowerSavingPercent, serial.PowerSavingPercent)
+		}
+		if !batch[i].Transformed.Equal(serial.Transformed) {
+			t.Errorf("image %d: batch transform differs from serial", i)
+		}
+	}
+}
+
+func TestProcessBatchValidation(t *testing.T) {
+	if _, err := ProcessBatch(nil, Options{DynamicRange: 100}); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, err := ProcessBatch([]*gray.Image{nil}, Options{DynamicRange: 100}); err == nil {
+		t.Error("nil image should error")
+	}
+}
+
+func TestProcessBatchFirstErrorWins(t *testing.T) {
+	imgs := []*gray.Image{testImg(t, "lena"), testImg(t, "girl")}
+	// Invalid options fail every image; the batch reports one error.
+	if _, err := ProcessBatch(imgs, Options{DynamicRange: 999}); err == nil {
+		t.Error("invalid options should propagate an error")
+	}
+}
+
+func TestProcessBatchLargerThanCPUCount(t *testing.T) {
+	// More images than workers: the queue drains fully.
+	base, err := sipi.Suite(32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var imgs []*gray.Image
+	for _, ni := range base {
+		imgs = append(imgs, ni.Image)
+	}
+	res, err := ProcessBatch(imgs, Options{DynamicRange: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r == nil {
+			t.Fatalf("slot %d empty", i)
+		}
+		if r.Range != 150 {
+			t.Fatalf("slot %d range %d", i, r.Range)
+		}
+	}
+}

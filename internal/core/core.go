@@ -1,0 +1,405 @@
+// Package core implements the HEBS algorithm — Histogram Equalization
+// for Backlight Scaling (Iranli, Fatemi & Pedram, DATE 2005) — by
+// composing the substrate packages into the four-step flow of Figure 4:
+//
+//  1. Turn the user's maximum tolerable distortion D_max into the
+//     minimum admissible dynamic range R, either through the empirical
+//     distortion characteristic curve (Section 3) or by per-image
+//     search; R fixes the backlight scaling factor β = R/255.
+//  2. Solve Global Histogram Equalization: a monotone Φ mapping the
+//     image histogram to a uniform histogram with range R (Eq. 5–7).
+//  3. Coarsen Φ to a piecewise-linear Λ with at most m segments via the
+//     PLC dynamic program (Eq. 9), m being the number of controllable
+//     reference-voltage sources in the LCD driver.
+//  4. Apply Λ to the image, dim the backlight by β, and program the
+//     PLRD reference voltages V_i = Y_i·V_dd/β (Eq. 10).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hebs/internal/chart"
+	"hebs/internal/driver"
+	"hebs/internal/equalize"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/plc"
+	"hebs/internal/power"
+	"hebs/internal/rgb"
+	"hebs/internal/transform"
+)
+
+// Options configures a HEBS run. The zero value plus one of
+// MaxDistortionPercent or DynamicRange is a valid configuration.
+type Options struct {
+	// MaxDistortionPercent is the distortion budget D_max. Used when
+	// DynamicRange is 0.
+	MaxDistortionPercent float64
+	// DynamicRange, when non-zero, skips step 1 and uses this target
+	// range directly (the Figure 8 mode: "dynamic range = 220").
+	DynamicRange int
+	// ExactSearch selects per-image range search (bisection on the
+	// image's own measured range-reduction distortion) instead of the
+	// global characteristic-curve lookup. The Table 1 reproduction uses
+	// this mode.
+	ExactSearch bool
+	// Curve is the distortion characteristic curve for the lookup path.
+	// When nil and needed, a curve built from the default benchmark
+	// suite is used (computed once per process).
+	Curve *chart.Curve
+	// WorstCase selects the worst-case fit of the curve instead of the
+	// entire-dataset fit.
+	WorstCase bool
+	// Segments is the PLC budget m. Default: the driver's source count
+	// (driver.DefaultConfig.Sources).
+	Segments int
+	// Metric is the distortion measure; nil means UQI, the paper's
+	// choice.
+	Metric chart.Metric
+	// Subsystem overrides the power model; nil means the LP064V1 model.
+	Subsystem *power.Subsystem
+	// Driver, when non-nil, also produces the PLRD hardware program
+	// realizing Λ.
+	Driver *driver.Config
+	// Equalizer selects the histogram-equalization variant for step 2
+	// (the paper's future-work evaluation): EqualizerGHE (default,
+	// Eq. 5–7), EqualizerClipped (contrast-limited) or EqualizerBBHE
+	// (brightness-preserving bi-histogram).
+	Equalizer Equalizer
+	// ClipFactor is the contrast limit for EqualizerClipped (>= 1;
+	// 0 means the default of 3).
+	ClipFactor float64
+}
+
+// Equalizer names a histogram-equalization variant.
+type Equalizer int
+
+// The supported equalization methods.
+const (
+	EqualizerGHE Equalizer = iota
+	EqualizerClipped
+	EqualizerBBHE
+)
+
+// String implements fmt.Stringer for diagnostics and report tables.
+func (e Equalizer) String() string {
+	switch e {
+	case EqualizerGHE:
+		return "ghe"
+	case EqualizerClipped:
+		return "clipped"
+	case EqualizerBBHE:
+		return "bbhe"
+	default:
+		return fmt.Sprintf("equalizer(%d)", int(e))
+	}
+}
+
+// Result is a completed HEBS run.
+type Result struct {
+	// Original is the input image.
+	Original *gray.Image
+	// Transformed is Λ(F), the image stored in the frame buffer.
+	Transformed *gray.Image
+	// Lambda is the hardware-friendly piecewise-linear transformation.
+	Lambda *transform.LUT
+	// Breakpoints are Λ's segment endpoints Q (at most Segments+1).
+	Breakpoints []transform.Point
+	// Exact is the un-coarsened GHE solution Φ.
+	Exact *equalize.Result
+	// Range is the admissible dynamic range R chosen in step 1.
+	Range int
+	// Beta is the backlight scaling factor β = R/255.
+	Beta float64
+	// PredictedDistortion is the distortion the range-selection path
+	// promised (curve value or measured range-reduction distortion);
+	// 0 in direct DynamicRange mode.
+	PredictedDistortion float64
+	// AchievedDistortion is the measured distortion of Λ on this image.
+	// Equalization merges only sparsely-populated levels, so this is
+	// typically below PredictedDistortion.
+	AchievedDistortion float64
+	// PLCError is the mean squared error between Φ and Λ (levels²).
+	PLCError float64
+	// PowerBefore and PowerAfter are subsystem powers at β=1 with the
+	// original image and at β with the transformed image.
+	PowerBefore, PowerAfter float64
+	// PowerSavingPercent is the headline number of Table 1.
+	PowerSavingPercent float64
+	// Program is the PLRD configuration (nil unless Options.Driver set).
+	Program *driver.Program
+	// RealizationError is the MSE between the hardware's displayed
+	// luminance and Λ (0 unless Options.Driver set).
+	RealizationError float64
+}
+
+var (
+	defaultCurveOnce sync.Once
+	defaultCurve     *chart.Curve
+	defaultCurveErr  error
+)
+
+// DefaultCurve returns the distortion characteristic curve built from
+// the default 19-image benchmark suite, computing it on first use.
+func DefaultCurve() (*chart.Curve, error) {
+	defaultCurveOnce.Do(func() {
+		defaultCurve, defaultCurveErr = chart.BuildDefault()
+	})
+	return defaultCurve, defaultCurveErr
+}
+
+// selectRange performs step 1: D_max → R.
+func selectRange(img *gray.Image, opts Options) (r int, predicted float64, err error) {
+	if opts.DynamicRange != 0 {
+		if opts.DynamicRange < 1 || opts.DynamicRange > transform.Levels-1 {
+			return 0, 0, fmt.Errorf("core: dynamic range %d outside [1,255]", opts.DynamicRange)
+		}
+		return opts.DynamicRange, 0, nil
+	}
+	if opts.MaxDistortionPercent <= 0 {
+		return 0, 0, errors.New("core: need MaxDistortionPercent > 0 or DynamicRange")
+	}
+	if opts.ExactSearch {
+		r, err = chart.MinRangeExact(img, opts.MaxDistortionPercent, opts.Metric)
+		if err != nil {
+			return 0, 0, err
+		}
+		predicted, err = chart.RangeReductionDistortion(img, r, opts.Metric)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r, predicted, nil
+	}
+	curve := opts.Curve
+	if curve == nil {
+		curve, err = DefaultCurve()
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err = curve.MinRange(opts.MaxDistortionPercent, opts.WorstCase)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, curve.PredictedDistortion(r, opts.WorstCase), nil
+}
+
+// Plan is the image-independent part of a HEBS run: everything the LCD
+// controller needs, derived from the histogram alone. In the hardware
+// flow of Figure 4 this is exactly what gets computed — the controller's
+// histogram estimator feeds the GHE/PLC solver and the resulting
+// reference voltages are latched; pixel data itself never passes
+// through the CPU.
+type Plan struct {
+	// Lambda is the piecewise-linear transformation to program.
+	Lambda *transform.LUT
+	// Breakpoints are Λ's endpoints Q.
+	Breakpoints []transform.Point
+	// Exact is the un-coarsened GHE solution Φ.
+	Exact *equalize.Result
+	// Range and Beta are the operating point.
+	Range int
+	Beta  float64
+	// PLCError is the Φ-vs-Λ MSE (levels²).
+	PLCError float64
+	// Program is the PLRD configuration (nil unless a driver config was
+	// given).
+	Program *driver.Program
+}
+
+// PlanFromHistogram computes the HEBS transform for a target dynamic
+// range directly from a histogram — the runtime path on hardware with
+// a histogram estimator. segments <= 0 selects the default driver
+// source count; drv may be nil to skip voltage programming; eq selects
+// the equalization variant (clipFactor as in Options.ClipFactor).
+func PlanFromHistogram(h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
+	if h == nil || h.N == 0 {
+		return nil, errors.New("core: empty histogram")
+	}
+	if r < 1 || r > transform.Levels-1 {
+		return nil, fmt.Errorf("core: dynamic range %d outside [1,255]", r)
+	}
+	if segments <= 0 {
+		segments = driver.DefaultConfig.Sources
+	}
+	beta, err := power.BetaForRange(r, transform.Levels)
+	if err != nil {
+		return nil, err
+	}
+	var ghe *equalize.Result
+	switch eq {
+	case EqualizerGHE:
+		ghe, err = equalize.SolveRange(h, r)
+	case EqualizerClipped:
+		if clipFactor == 0 {
+			clipFactor = 3
+		}
+		ghe, err = equalize.SolveClipped(h, 0, r, clipFactor)
+	case EqualizerBBHE:
+		ghe, err = equalize.SolveBBHE(h, 0, r)
+	default:
+		return nil, fmt.Errorf("core: unknown equalizer %v", eq)
+	}
+	if err != nil {
+		return nil, err
+	}
+	coarse, err := plc.Coarsen(ghe.Points(), segments)
+	if err != nil {
+		return nil, err
+	}
+	lambda, err := coarse.LUT()
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{
+		Lambda:      lambda,
+		Breakpoints: coarse.Points,
+		Exact:       ghe,
+		Range:       r,
+		Beta:        beta,
+		PLCError:    coarse.MSE,
+	}
+	if drv != nil {
+		plan.Program, err = driver.ProgramHierarchical(*drv, coarse.Points, beta)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan, nil
+}
+
+// Process runs the full HEBS pipeline on an image.
+func Process(img *gray.Image, opts Options) (*Result, error) {
+	if img == nil {
+		return nil, errors.New("core: nil image")
+	}
+	segments := opts.Segments
+	if segments == 0 {
+		segments = driver.DefaultConfig.Sources
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+	}
+	sub := power.DefaultSubsystem
+	if opts.Subsystem != nil {
+		sub = *opts.Subsystem
+	}
+
+	// Step 1: distortion budget -> admissible range and β.
+	r, predicted, err := selectRange(img, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 2+3: histogram -> Φ -> Λ (+ the PLRD program), the part the
+	// LCD controller computes from its histogram estimator alone.
+	plan, err := PlanFromHistogram(histogram.Of(img), r, segments,
+		opts.Driver, opts.Equalizer, opts.ClipFactor)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: apply Λ; measure what the dimmed display delivers.
+	res := &Result{
+		Original:            img,
+		Transformed:         plan.Lambda.Apply(img),
+		Lambda:              plan.Lambda,
+		Breakpoints:         plan.Breakpoints,
+		Exact:               plan.Exact,
+		Range:               plan.Range,
+		Beta:                plan.Beta,
+		PredictedDistortion: predicted,
+		PLCError:            plan.PLCError,
+		Program:             plan.Program,
+	}
+	res.AchievedDistortion, err = chart.TransformDistortion(img, plan.Lambda, opts.Metric)
+	if err != nil {
+		return nil, err
+	}
+	res.PowerBefore, err = sub.Power(img, 1)
+	if err != nil {
+		return nil, err
+	}
+	res.PowerAfter, err = sub.Power(res.Transformed, plan.Beta)
+	if err != nil {
+		return nil, err
+	}
+	res.PowerSavingPercent = 100 * (1 - res.PowerAfter/res.PowerBefore)
+
+	if res.Program != nil {
+		res.RealizationError, err = res.Program.RealizationError(plan.Lambda)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// DitheredPreview renders the compensated preview through
+// Floyd–Steinberg error diffusion on the exact (un-coarsened,
+// fractional) Φ — the FRC-style banding mitigation real LCD timing
+// controllers apply. Compared to CompensatedPreview, adjacent output
+// codes alternate spatially instead of forming contours.
+func (r *Result) DitheredPreview() (*gray.Image, error) {
+	curve, err := transform.CompensatedCurve(&r.Exact.Exact, r.Beta)
+	if err != nil {
+		return nil, err
+	}
+	return transform.ApplyErrorDiffusion(r.Original, curve)
+}
+
+// ColorResult is a HEBS run on a color image: the luma-plane decision
+// plus the color frame produced by driving all three channels through
+// the shared transfer function Λ.
+type ColorResult struct {
+	// Result holds the luma-plane pipeline outputs (β, Λ, distortion
+	// and power metrics). Its Original/Transformed fields are the luma
+	// images.
+	*Result
+	// OriginalColor and TransformedColor are the color frames.
+	OriginalColor, TransformedColor *rgb.Image
+}
+
+// ProcessColor runs HEBS on a color image. The admissible range,
+// backlight factor and transfer function are decided on the Rec. 601
+// luma plane — the quantity the HVS-oriented distortion model sees —
+// and Λ is then applied identically to R, G and B, mirroring the
+// hardware where the three sub-pixel columns share the source-driver
+// reference ladder (Section 2).
+func ProcessColor(img *rgb.Image, opts Options) (*ColorResult, error) {
+	if img == nil {
+		return nil, errors.New("core: nil color image")
+	}
+	res, err := Process(img.Luma(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &ColorResult{
+		Result:           res,
+		OriginalColor:    img,
+		TransformedColor: img.ApplyLUT(res.Lambda),
+	}, nil
+}
+
+// CompensatedColorPreview renders the color frame as perceived after
+// contrast compensation — the Figure 8 style preview in color.
+func (r *ColorResult) CompensatedColorPreview() (*rgb.Image, error) {
+	comp, err := transform.ContrastScale(r.Beta)
+	if err != nil {
+		return nil, err
+	}
+	return r.OriginalColor.ApplyLUT(r.Lambda.Compose(comp)), nil
+}
+
+// CompensatedPreview renders the image as the viewer perceives it after
+// contrast compensation spreads Λ(F) back over the full luminance
+// swing — useful for the Figure 8 style side-by-side dumps.
+func (r *Result) CompensatedPreview() (*gray.Image, error) {
+	comp, err := transform.ContrastScale(r.Beta)
+	if err != nil {
+		return nil, err
+	}
+	return r.Lambda.Compose(comp).Apply(r.Original), nil
+}

@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hebs/internal/core"
+	"hebs/internal/gray"
+)
+
+// ramp builds a deterministic gradient image so the example output is
+// stable.
+func ramp() *gray.Image {
+	img := gray.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			img.Set(x, y, uint8(32+(x+y)*3/2))
+		}
+	}
+	return img
+}
+
+// ExampleProcess runs HEBS at a fixed dynamic range (the Figure 8
+// mode) and prints the operating point.
+func ExampleProcess() {
+	res, err := core.Process(ramp(), core.Options{DynamicRange: 153})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("range: %d\n", res.Range)
+	fmt.Printf("beta: %.1f\n", res.Beta)
+	fmt.Printf("monotone: %v\n", res.Lambda.IsMonotone())
+	// Output:
+	// range: 153
+	// beta: 0.6
+	// monotone: true
+}
+
+// ExampleProcess_distortionBudget runs the full flow: the distortion
+// budget is converted into a per-image admissible range.
+func ExampleProcess_distortionBudget() {
+	res, err := core.Process(ramp(), core.Options{
+		MaxDistortionPercent: 10,
+		ExactSearch:          true,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("budget respected: %v\n", res.PredictedDistortion <= 10)
+	fmt.Printf("backlight dimmed: %v\n", res.Beta < 1)
+	fmt.Printf("power saved: %v\n", res.PowerSavingPercent > 0)
+	// Output:
+	// budget respected: true
+	// backlight dimmed: true
+	// power saved: true
+}

@@ -1,0 +1,283 @@
+// Package driver models the Programmable LCD Reference Driver (PLRD)
+// of Section 4.1 / Figure 5 of the paper: the resistor-ladder reference
+// voltage generator that fixes the panel's grayscale-voltage transfer
+// function.
+//
+// Two circuits are modeled:
+//
+//   - Conventional (Figure 5a): a fixed voltage divider with clamp
+//     switches at both ends, as proposed by Cheng & Pedram [5]. It can
+//     realize only single-band grayscale-spreading transfer functions
+//     with a single slope.
+//   - Hierarchical (Figure 5b, the paper's proposal): k controllable
+//     voltage sources feeding sub-dividers, with switches between
+//     grayscale levels. It realizes any monotone piecewise-linear
+//     transfer function with at most k segments, including flat bands
+//     in the middle of the grayscale range — exactly the Λ functions
+//     the PLC solver produces.
+//
+// Voltages are programmed per Eq. 10: V_i = Y_{q_i} · V_dd / β, so the
+// panel's increased transmittance compensates the dimmed backlight.
+// DAC quantization of the programmable sources is modeled so that
+// realization error can be studied (see the ablation benchmarks).
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hebs/internal/transform"
+)
+
+// Config describes a PLRD instance.
+type Config struct {
+	// Vdd is the ladder supply voltage in volts.
+	Vdd float64
+	// Sources is k, the number of controllable voltage sources of the
+	// hierarchical circuit (equivalently the maximum segment count of
+	// realizable transfer functions).
+	Sources int
+	// DACBits is the resolution of each programmable source. 0 means
+	// ideal (no quantization).
+	DACBits int
+	// LC is the liquid-crystal electro-optic model; nil selects the
+	// idealized linear cell of Section 2. Nonlinear models generalize
+	// Eq. 10: the tap voltage becomes V_i = LC⁻¹(Y_i/(255·β)) · V_dd.
+	LC LCModel
+}
+
+// DefaultConfig mirrors the AD8511-class 11-channel reference driver
+// with a 10-way divider used in the paper's implementation discussion.
+var DefaultConfig = Config{Vdd: 3.3, Sources: 10, DACBits: 8}
+
+func (c Config) validate() error {
+	if c.Vdd <= 0 {
+		return fmt.Errorf("driver: non-positive Vdd %v", c.Vdd)
+	}
+	if c.Sources < 1 {
+		return fmt.Errorf("driver: need at least one source, got %d", c.Sources)
+	}
+	if c.DACBits < 0 || c.DACBits > 16 {
+		return fmt.Errorf("driver: DAC bits %d outside [0,16]", c.DACBits)
+	}
+	return nil
+}
+
+// quantize snaps a voltage to the DAC grid.
+func (c Config) quantize(v float64) float64 {
+	if c.DACBits == 0 {
+		return v
+	}
+	steps := float64(int(1)<<uint(c.DACBits)) - 1
+	return math.Round(v/c.Vdd*steps) / steps * c.Vdd
+}
+
+// Tap is one programmed reference point of the ladder: at input code
+// Code the ladder outputs Voltage.
+type Tap struct {
+	Code    int
+	Voltage float64
+}
+
+// Program is a fully-specified PLRD configuration ready to drive the
+// source drivers, together with the backlight factor it was computed
+// for.
+type Program struct {
+	Config Config
+	Taps   []Tap
+	Beta   float64
+}
+
+// ProgramHierarchical programs the Figure 5b circuit to realize the
+// piecewise-linear transformation Λ given by its breakpoints (in 8-bit
+// level coordinates, spanning [0,255]) under backlight factor beta.
+// Voltages follow Eq. 10: V_i = Y_i/255 · Vdd / β, clamped to the
+// supply rail (outputs that would exceed Vdd saturate, mirroring the
+// physical ladder).
+func ProgramHierarchical(cfg Config, pts []transform.Point, beta float64) (*Program, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !(beta > 0 && beta <= 1) {
+		return nil, fmt.Errorf("driver: backlight factor %v outside (0,1]", beta)
+	}
+	if len(pts) < 2 {
+		return nil, errors.New("driver: need at least two breakpoints")
+	}
+	if len(pts)-1 > cfg.Sources {
+		return nil, fmt.Errorf("driver: %d segments exceed the %d controllable sources",
+			len(pts)-1, cfg.Sources)
+	}
+	if pts[0].X != 0 || pts[len(pts)-1].X != transform.Levels-1 {
+		return nil, fmt.Errorf("driver: breakpoints must span [0,255], got [%d,%d]",
+			pts[0].X, pts[len(pts)-1].X)
+	}
+	lc := cfg.lcOf()
+	prog := &Program{Config: cfg, Beta: beta}
+	prevY := math.Inf(-1)
+	for i, p := range pts {
+		if i > 0 && p.X <= pts[i-1].X {
+			return nil, fmt.Errorf("driver: breakpoint codes not increasing at %d", i)
+		}
+		if p.Y < prevY {
+			return nil, fmt.Errorf("driver: breakpoint voltages not monotone at %d", i)
+		}
+		prevY = p.Y
+		// Target transmittance at this tap (Eq. 10 numerator): the Λ
+		// output spread by the backlight compensation, clamped at the
+		// fully-open cell.
+		target := p.Y / float64(transform.Levels-1) / beta
+		if target > 1 {
+			target = 1 // rail clamp
+		}
+		if target < 0 {
+			target = 0
+		}
+		v := lc.Voltage(target) * cfg.Vdd
+		prog.Taps = append(prog.Taps, Tap{Code: p.X, Voltage: cfg.quantize(v)})
+	}
+	return prog, nil
+}
+
+// ProgramSingleBand programs the conventional Figure 5a circuit with
+// end-clamp switches: codes below gl output 0, codes above gu output
+// Vdd, with a single linear ramp between — the only transfer family
+// that circuit can realize. gl and gu are 8-bit codes with gl < gu.
+func ProgramSingleBand(cfg Config, gl, gu int, beta float64) (*Program, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if gl < 0 || gu > transform.Levels-1 || gl >= gu {
+		return nil, fmt.Errorf("driver: invalid band [%d,%d]", gl, gu)
+	}
+	pts := make([]transform.Point, 0, 4)
+	pts = append(pts, transform.Point{X: 0, Y: 0})
+	if gl > 0 {
+		pts = append(pts, transform.Point{X: gl, Y: 0})
+	}
+	top := beta * float64(transform.Levels-1) // rail in Λ units: Vdd·β
+	if gu < transform.Levels-1 {
+		pts = append(pts, transform.Point{X: gu, Y: top})
+		pts = append(pts, transform.Point{X: transform.Levels - 1, Y: top})
+	} else {
+		pts = append(pts, transform.Point{X: transform.Levels - 1, Y: top})
+	}
+	// The conventional circuit has a fixed divider: reuse the
+	// hierarchical programmer with exactly these taps (2-3 segments).
+	return ProgramHierarchical(cfg, pts, beta)
+}
+
+// TransmittanceAt returns the panel transmittance (0..1) the program
+// produces for an input code: the ladder interpolates linearly between
+// programmed taps *in voltage space*, and the cell then maps voltage
+// to transmittance through the LC model. With the idealized linear
+// cell this reduces to V/Vdd; with a real S-curve cell the segment
+// interiors bend, which is the residual error more taps reduce.
+func (p *Program) TransmittanceAt(code int) (float64, error) {
+	if code < 0 || code > transform.Levels-1 {
+		return 0, fmt.Errorf("driver: code %d outside [0,255]", code)
+	}
+	lc := p.Config.lcOf()
+	taps := p.Taps
+	if code <= taps[0].Code {
+		return lc.Transmittance(taps[0].Voltage / p.Config.Vdd), nil
+	}
+	for i := 1; i < len(taps); i++ {
+		if code <= taps[i].Code {
+			a, b := taps[i-1], taps[i]
+			t := float64(code-a.Code) / float64(b.Code-a.Code)
+			v := a.Voltage + (b.Voltage-a.Voltage)*t
+			return lc.Transmittance(v / p.Config.Vdd), nil
+		}
+	}
+	return lc.Transmittance(taps[len(taps)-1].Voltage / p.Config.Vdd), nil
+}
+
+// VoltageAt returns the grayscale voltage (volts) the source driver
+// outputs for an input code: the linear interpolation between the
+// programmed ladder taps, before the cell's electro-optic response.
+// This is the quantity whose swings charge the source bus lines, so it
+// drives the panel's addressing (scan) energy.
+func (p *Program) VoltageAt(code int) (float64, error) {
+	if code < 0 || code > transform.Levels-1 {
+		return 0, fmt.Errorf("driver: code %d outside [0,255]", code)
+	}
+	taps := p.Taps
+	if code <= taps[0].Code {
+		return taps[0].Voltage, nil
+	}
+	for i := 1; i < len(taps); i++ {
+		if code <= taps[i].Code {
+			a, b := taps[i-1], taps[i]
+			t := float64(code-a.Code) / float64(b.Code-a.Code)
+			return a.Voltage + (b.Voltage-a.Voltage)*t, nil
+		}
+	}
+	return taps[len(taps)-1].Voltage, nil
+}
+
+// VoltageTable evaluates VoltageAt for every code — the per-frame hot
+// path uses this to avoid re-walking the tap list per pixel.
+func (p *Program) VoltageTable() ([transform.Levels]float64, error) {
+	var out [transform.Levels]float64
+	for c := 0; c < transform.Levels; c++ {
+		v, err := p.VoltageAt(c)
+		if err != nil {
+			return out, err
+		}
+		out[c] = v
+	}
+	return out, nil
+}
+
+// DisplayedLUT renders the end-to-end effect of the programmed panel
+// plus dimmed backlight as a LUT in 8-bit luminance units: for input
+// code x the perceived luminance is β · t(x), scaled to [0,255]. If the
+// program faithfully realizes Λ under Eq. 10, this reproduces Λ up to
+// DAC quantization and rail clamping.
+func (p *Program) DisplayedLUT() (*transform.LUT, error) {
+	var out transform.LUT
+	for x := 0; x < transform.Levels; x++ {
+		t, err := p.TransmittanceAt(x)
+		if err != nil {
+			return nil, err
+		}
+		lum := p.Beta * t * float64(transform.Levels-1)
+		out[x] = clamp8(lum)
+	}
+	return &out, nil
+}
+
+// RealizationError returns the mean squared error (in squared 8-bit
+// luminance units) between the luminance the program actually displays
+// and the target transformation Λ — the hardware-fidelity metric of
+// the PLC + PLRD chain.
+func (p *Program) RealizationError(target *transform.LUT) (float64, error) {
+	disp, err := p.DisplayedLUT()
+	if err != nil {
+		return 0, err
+	}
+	return disp.MSE(target), nil
+}
+
+// SourceVoltages lists the k controllable source settings in volts,
+// interface order (one per tap beyond the ground reference).
+func (p *Program) SourceVoltages() []float64 {
+	out := make([]float64, len(p.Taps))
+	for i, t := range p.Taps {
+		out[i] = t.Voltage
+	}
+	return out
+}
+
+func clamp8(v float64) uint8 {
+	r := math.Round(v)
+	if r < 0 {
+		return 0
+	}
+	if r > 255 {
+		return 255
+	}
+	return uint8(r)
+}

@@ -1,0 +1,340 @@
+package driver
+
+import (
+	"math"
+	"testing"
+
+	"hebs/internal/equalize"
+	"hebs/internal/histogram"
+	"hebs/internal/plc"
+	"hebs/internal/power"
+	"hebs/internal/sipi"
+	"hebs/internal/transform"
+)
+
+func identityPts() []transform.Point {
+	return []transform.Point{{X: 0, Y: 0}, {X: 255, Y: 255}}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Vdd: 0, Sources: 4},
+		{Vdd: -1, Sources: 4},
+		{Vdd: 3.3, Sources: 0},
+		{Vdd: 3.3, Sources: 4, DACBits: -1},
+		{Vdd: 3.3, Sources: 4, DACBits: 17},
+	}
+	for i, cfg := range bad {
+		if _, err := ProgramHierarchical(cfg, identityPts(), 1); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestIdentityProgramAtFullBacklight(t *testing.T) {
+	prog, err := ProgramHierarchical(DefaultConfig, identityPts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := prog.DisplayedLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β=1, identity Λ: the display reproduces the input within DAC
+	// quantization (8 bits over 256 codes: <= 1 level).
+	for x := 0; x < transform.Levels; x += 17 {
+		d := int(disp[x]) - x
+		if d < -1 || d > 1 {
+			t.Fatalf("identity display off by %d at code %d", d, x)
+		}
+	}
+}
+
+func TestEq10Compensation(t *testing.T) {
+	// Λ maps onto [0, 127] (R=127), β = 127/255. Eq. 10 divides by β so
+	// the panel transmittance doubles and displayed luminance equals Λ.
+	pts := []transform.Point{{X: 0, Y: 0}, {X: 255, Y: 127}}
+	beta, _ := power.BetaForRange(127, 256)
+	prog, err := ProgramHierarchical(DefaultConfig, pts, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Top code transmittance should be ~1 (fully open).
+	tr, err := prog.TransmittanceAt(255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-1) > 0.02 {
+		t.Errorf("top transmittance = %v, want ~1", tr)
+	}
+	disp, err := prog.DisplayedLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := transform.Piecewise(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := disp.MSE(target); mse > 2 {
+		t.Errorf("Eq.10 realization MSE = %v, want < 2", mse)
+	}
+}
+
+func TestRailClamp(t *testing.T) {
+	// Requesting more luminance than β can deliver clamps at the rail.
+	pts := []transform.Point{{X: 0, Y: 0}, {X: 255, Y: 255}}
+	prog, err := ProgramHierarchical(DefaultConfig, pts, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := prog.TransmittanceAt(255)
+	if tr > 1 {
+		t.Errorf("transmittance %v exceeds 1", tr)
+	}
+	v := prog.SourceVoltages()
+	for _, volt := range v {
+		if volt > DefaultConfig.Vdd+1e-9 {
+			t.Errorf("source voltage %v exceeds rail %v", volt, DefaultConfig.Vdd)
+		}
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	cfg := DefaultConfig
+	cases := []struct {
+		pts  []transform.Point
+		beta float64
+	}{
+		{identityPts(), 0},
+		{identityPts(), -0.2},
+		{identityPts(), 1.2},
+		{[]transform.Point{{X: 0, Y: 0}}, 1},
+		{[]transform.Point{{X: 5, Y: 0}, {X: 255, Y: 255}}, 1},
+		{[]transform.Point{{X: 0, Y: 0}, {X: 200, Y: 255}}, 1},
+		{[]transform.Point{{X: 0, Y: 100}, {X: 128, Y: 50}, {X: 255, Y: 255}}, 1},
+		{[]transform.Point{{X: 0, Y: 0}, {X: 0, Y: 10}, {X: 255, Y: 255}}, 1},
+	}
+	for i, c := range cases {
+		if _, err := ProgramHierarchical(cfg, c.pts, c.beta); err == nil {
+			t.Errorf("case %d should be rejected", i)
+		}
+	}
+}
+
+func TestSegmentBudgetEnforced(t *testing.T) {
+	cfg := Config{Vdd: 3.3, Sources: 2, DACBits: 8}
+	pts := []transform.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 10}, {X: 100, Y: 100}, {X: 255, Y: 255},
+	}
+	if _, err := ProgramHierarchical(cfg, pts, 1); err == nil {
+		t.Error("3 segments on a 2-source ladder should be rejected")
+	}
+	cfg.Sources = 3
+	if _, err := ProgramHierarchical(cfg, pts, 1); err != nil {
+		t.Errorf("3 segments on a 3-source ladder should work: %v", err)
+	}
+}
+
+func TestSingleBandProgram(t *testing.T) {
+	beta := 0.5
+	prog, err := ProgramSingleBand(DefaultConfig, 64, 192, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp, err := prog.DisplayedLUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the band: dark. Above: at the β-limited maximum.
+	if disp[0] != 0 || disp[32] != 0 {
+		t.Errorf("below-band luminance = %d,%d; want 0", disp[0], disp[32])
+	}
+	top := disp[255]
+	if math.Abs(float64(top)-beta*255) > 3 {
+		t.Errorf("above-band luminance = %d, want ~%v", top, beta*255)
+	}
+	if disp[220] != top {
+		t.Errorf("above-band flat region broken: %d vs %d", disp[220], top)
+	}
+	// Mid-band midpoint is halfway.
+	if math.Abs(float64(disp[128])-float64(top)/2) > 3 {
+		t.Errorf("mid-band luminance = %d, want ~%v", disp[128], float64(top)/2)
+	}
+}
+
+func TestSingleBandEdgeBands(t *testing.T) {
+	// Band touching the extremes degenerates to 1-2 segments.
+	if _, err := ProgramSingleBand(DefaultConfig, 0, 255, 1); err != nil {
+		t.Errorf("full band should program: %v", err)
+	}
+	if _, err := ProgramSingleBand(DefaultConfig, 0, 128, 0.5); err != nil {
+		t.Errorf("band starting at 0 should program: %v", err)
+	}
+	if _, err := ProgramSingleBand(DefaultConfig, 128, 255, 0.5); err != nil {
+		t.Errorf("band ending at 255 should program: %v", err)
+	}
+	if _, err := ProgramSingleBand(DefaultConfig, 128, 128, 0.5); err == nil {
+		t.Error("degenerate band should be rejected")
+	}
+	if _, err := ProgramSingleBand(DefaultConfig, -1, 128, 0.5); err == nil {
+		t.Error("negative gl should be rejected")
+	}
+}
+
+func TestDACQuantizationError(t *testing.T) {
+	pts := []transform.Point{{X: 0, Y: 0}, {X: 100, Y: 30}, {X: 255, Y: 200}}
+	target, err := transform.Piecewise(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevMSE = math.Inf(1)
+	for _, bits := range []int{4, 6, 8, 0} { // 0 = ideal
+		cfg := Config{Vdd: 3.3, Sources: 10, DACBits: bits}
+		prog, err := ProgramHierarchical(cfg, pts, 200.0/255.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mse, err := prog.RealizationError(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mse > prevMSE+0.5 {
+			t.Errorf("realization error rose with more DAC bits (%d): %v > %v", bits, mse, prevMSE)
+		}
+		prevMSE = mse
+	}
+	if prevMSE > 1 {
+		t.Errorf("ideal-DAC realization error = %v, want < 1", prevMSE)
+	}
+}
+
+func TestTransmittanceMonotone(t *testing.T) {
+	pts := []transform.Point{
+		{X: 0, Y: 0}, {X: 60, Y: 0}, {X: 150, Y: 180}, {X: 255, Y: 180},
+	}
+	prog, err := ProgramHierarchical(DefaultConfig, pts, 180.0/255.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for x := 0; x < transform.Levels; x++ {
+		tr, err := prog.TransmittanceAt(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr < prev-1e-9 {
+			t.Fatalf("transmittance decreases at code %d", x)
+		}
+		if tr < 0 || tr > 1 {
+			t.Fatalf("transmittance %v out of [0,1] at code %d", tr, x)
+		}
+		prev = tr
+	}
+	if _, err := prog.TransmittanceAt(-1); err == nil {
+		t.Error("negative code should error")
+	}
+	if _, err := prog.TransmittanceAt(256); err == nil {
+		t.Error("code > 255 should error")
+	}
+}
+
+func TestEndToEndHEBSRealization(t *testing.T) {
+	// Full chain: image -> GHE -> PLC(m=10) -> PLRD program -> displayed
+	// luminance ≈ Λ.
+	img, err := sipi.Generate("lena", 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const r = 150
+	ghe, err := equalize.SolveRange(histogram.Of(img), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := plc.Coarsen(ghe.Points(), DefaultConfig.Sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, err := coarse.LUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta, err := power.BetaForRange(r, transform.Levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ProgramHierarchical(DefaultConfig, coarse.Points, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse, err := prog.RealizationError(lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse > 3 {
+		t.Errorf("hardware realization MSE = %v levels², want < 3", mse)
+	}
+	if len(prog.SourceVoltages()) != len(coarse.Points) {
+		t.Errorf("voltage count %d != breakpoint count %d",
+			len(prog.SourceVoltages()), len(coarse.Points))
+	}
+}
+
+func TestVoltageAtInterpolatesTaps(t *testing.T) {
+	pts := []transform.Point{{X: 0, Y: 0}, {X: 100, Y: 100}, {X: 255, Y: 255}}
+	prog, err := ProgramHierarchical(Config{Vdd: 3.3, Sources: 10, DACBits: 0}, pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Taps themselves: exact.
+	for _, p := range pts {
+		v, err := prog.VoltageAt(p.X)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := p.Y / 255 * 3.3
+		if math.Abs(v-want) > 1e-9 {
+			t.Errorf("tap %d voltage %v, want %v", p.X, v, want)
+		}
+	}
+	// Midpoint of the first segment.
+	v, err := prog.VoltageAt(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-50.0/255*3.3) > 1e-9 {
+		t.Errorf("midpoint voltage %v", v)
+	}
+	if _, err := prog.VoltageAt(-1); err == nil {
+		t.Error("negative code should error")
+	}
+	if _, err := prog.VoltageAt(256); err == nil {
+		t.Error("code > 255 should error")
+	}
+}
+
+func TestVoltageTableConsistent(t *testing.T) {
+	pts := []transform.Point{{X: 0, Y: 0}, {X: 60, Y: 10}, {X: 255, Y: 200}}
+	prog, err := ProgramHierarchical(DefaultConfig, pts, 200.0/255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := prog.VoltageTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < transform.Levels; c += 7 {
+		v, err := prog.VoltageAt(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table[c] != v {
+			t.Fatalf("table[%d] = %v, VoltageAt = %v", c, table[c], v)
+		}
+	}
+	// Monotone non-decreasing voltages for a monotone Λ.
+	for c := 1; c < transform.Levels; c++ {
+		if table[c] < table[c-1]-1e-12 {
+			t.Fatalf("voltage decreases at code %d", c)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package equalize_test
+
+import (
+	"fmt"
+
+	"hebs/internal/equalize"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+)
+
+// ExampleSolveRange equalizes a two-level image onto [0, 100]: the
+// populated extremes land exactly on the target limits.
+func ExampleSolveRange() {
+	img := gray.New(4, 2)
+	copy(img.Pix, []uint8{30, 30, 30, 30, 220, 220, 220, 220})
+	res, err := equalize.SolveRange(histogram.Of(img), 100)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.LUT[30], res.LUT[220])
+	fmt.Println(res.LUT.IsMonotone())
+	// Output:
+	// 0 100
+	// true
+}
+
+// ExampleSolve_uniformInput shows that equalizing an already-uniform
+// histogram reduces to linear range compression.
+func ExampleSolve_uniformInput() {
+	img := gray.New(256, 1)
+	for x := 0; x < 256; x++ {
+		img.Set(x, 0, uint8(x))
+	}
+	res, err := equalize.Solve(histogram.Of(img), 0, 51)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// 255 -> 51, 128 -> ~25.5: a 5:1 linear compression.
+	fmt.Println(res.LUT[255], res.LUT[128], res.LUT[0])
+	// Output: 51 26 0
+}

@@ -1,0 +1,196 @@
+// Alternative histogram-equalization methods — the evaluation the
+// paper's conclusion defers to future work ("alternative distortion
+// measures and histogram equalization methods will be evaluated").
+// Both variants produce the same Result type as the baseline GHE
+// solver, so they drop into the HEBS pipeline unchanged:
+//
+//   - SolveClipped: contrast-limited equalization (the global form of
+//     CLAHE's clip step). Clipping the histogram before the CDF remap
+//     bounds the local slope of Φ, trading histogram flatness for less
+//     aggressive contrast redistribution.
+//   - SolveBBHE: brightness-preserving bi-histogram equalization (Kim
+//     1997). The histogram is split at the mean level and each half is
+//     equalized into its proportional share of the target range, which
+//     keeps the compensated image's mean brightness close to the
+//     original's.
+package equalize
+
+import (
+	"fmt"
+	"math"
+
+	"hebs/internal/histogram"
+	"hebs/internal/transform"
+)
+
+// SolveClipped performs contrast-limited GHE: histogram bins above
+// clipFactor times the mean populated-bin height are clipped and the
+// excess mass is redistributed uniformly over all levels before the
+// usual CDF remap onto [gmin, gmax]. clipFactor must be >= 1; large
+// values degenerate to plain Solve.
+func SolveClipped(h *histogram.Histogram, gmin, gmax int, clipFactor float64) (*Result, error) {
+	if h == nil || h.N == 0 {
+		return nil, fmt.Errorf("equalize: empty histogram")
+	}
+	if clipFactor < 1 {
+		return nil, fmt.Errorf("equalize: clip factor %v < 1", clipFactor)
+	}
+	limit := clipFactor * float64(h.N) / float64(transform.Levels)
+	var clipped [histogram.Levels]float64
+	excess := 0.0
+	for v, c := range h.Bins {
+		cv := float64(c)
+		if cv > limit {
+			excess += cv - limit
+			cv = limit
+		}
+		clipped[v] = cv
+	}
+	// Redistribute the excess uniformly (one pass; residual spill above
+	// the limit after redistribution is negligible for the clip factors
+	// used here and keeps the transform monotone regardless).
+	share := excess / float64(transform.Levels)
+	for v := range clipped {
+		clipped[v] += share
+	}
+	// CDF remap of the clipped mass, anchored like Solve.
+	return solveFromWeights(clipped[:], gmin, gmax)
+}
+
+// SolveBBHE performs brightness-preserving bi-histogram equalization:
+// the histogram splits at the mean input level X_m; the lower half is
+// equalized onto the proportional band [gmin, G_m] and the upper half
+// onto (G_m, gmax], with G_m placed at the mean's relative position in
+// the target range.
+func SolveBBHE(h *histogram.Histogram, gmin, gmax int) (*Result, error) {
+	if h == nil || h.N == 0 {
+		return nil, fmt.Errorf("equalize: empty histogram")
+	}
+	if gmin < 0 || gmax > transform.Levels-1 || gmin >= gmax {
+		return nil, fmt.Errorf("equalize: bad target limits [%d,%d]", gmin, gmax)
+	}
+	// Mean input level.
+	sum := 0.0
+	for v, c := range h.Bins {
+		sum += float64(v) * float64(c)
+	}
+	xm := int(math.Round(sum / float64(h.N)))
+	if xm < 0 {
+		xm = 0
+	}
+	if xm > transform.Levels-2 {
+		xm = transform.Levels - 2
+	}
+	// Split masses.
+	var nl, nu int
+	for v, c := range h.Bins {
+		if v <= xm {
+			nl += c
+		} else {
+			nu += c
+		}
+	}
+	if nl == 0 || nu == 0 {
+		// Degenerate split: plain GHE.
+		return Solve(h, gmin, gmax)
+	}
+	// Target split point at the mean's relative position.
+	gm := gmin + int(math.Round(float64(gmax-gmin)*float64(xm)/float64(transform.Levels-1)))
+	if gm <= gmin {
+		gm = gmin + 1
+	}
+	if gm >= gmax {
+		gm = gmax - 1
+	}
+	res := &Result{GMin: gmin, GMax: gmax}
+	// Lower sub-histogram onto [gmin, gm]. Levels before the first
+	// populated one pin to the band start (t = 0).
+	cum := 0
+	lowAnchor := -1.0
+	for v := 0; v <= xm; v++ {
+		cum += h.Bins[v]
+		if lowAnchor < 0 && h.Bins[v] > 0 {
+			lowAnchor = float64(cum)
+		}
+		t := 0.0
+		if lowAnchor >= 0 {
+			t = remap(float64(cum), lowAnchor, float64(nl))
+		}
+		res.Exact[v] = float64(gmin) + float64(gm-gmin)*t
+	}
+	// Upper sub-histogram onto [gm+1, gmax].
+	cum = 0
+	upAnchor := -1.0
+	for v := xm + 1; v < transform.Levels; v++ {
+		cum += h.Bins[v]
+		if upAnchor < 0 && h.Bins[v] > 0 {
+			upAnchor = float64(cum)
+		}
+		t := 0.0
+		if upAnchor >= 0 {
+			t = remap(float64(cum), upAnchor, float64(nu))
+		}
+		res.Exact[v] = float64(gm+1) + float64(gmax-gm-1)*t
+	}
+	var lut transform.LUT
+	for v := 0; v < transform.Levels; v++ {
+		lut[v] = quantize(res.Exact[v])
+	}
+	res.LUT = &lut
+	return res, nil
+}
+
+// remap normalizes a cumulative mass into [0,1], anchoring the first
+// populated level at 0 (mirroring Solve's anchoring).
+func remap(cum, anchor, total float64) float64 {
+	denom := total - anchor
+	if denom <= 0 {
+		return 0
+	}
+	t := (cum - anchor) / denom
+	if t < 0 {
+		return 0
+	}
+	if t > 1 {
+		return 1
+	}
+	return t
+}
+
+// solveFromWeights runs the anchored CDF remap over fractional bin
+// weights (used by the clipped variant).
+func solveFromWeights(weights []float64, gmin, gmax int) (*Result, error) {
+	if gmin < 0 || gmax > transform.Levels-1 || gmin >= gmax {
+		return nil, fmt.Errorf("equalize: bad target limits [%d,%d]", gmin, gmax)
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("equalize: empty weight histogram")
+	}
+	// Anchor at the first strictly positive *original-style* mass: use
+	// the first bin's cumulative value so the lowest level maps to gmin.
+	res := &Result{GMin: gmin, GMax: gmax}
+	span := float64(gmax - gmin)
+	cum := 0.0
+	anchor := -1.0
+	for v := 0; v < transform.Levels; v++ {
+		cum += weights[v]
+		if anchor < 0 && weights[v] > 0 {
+			anchor = cum
+		}
+		t := 0.0
+		if anchor >= 0 {
+			t = remap(cum, anchor, total)
+		}
+		res.Exact[v] = float64(gmin) + span*t
+	}
+	var lut transform.LUT
+	for v := 0; v < transform.Levels; v++ {
+		lut[v] = quantize(res.Exact[v])
+	}
+	res.LUT = &lut
+	return res, nil
+}

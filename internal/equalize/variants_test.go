@@ -1,0 +1,214 @@
+package equalize
+
+import (
+	"math"
+	"testing"
+
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/rng"
+)
+
+func skewed(seed uint64) *gray.Image {
+	m := gray.New(64, 64)
+	s := rng.New(seed)
+	for i := range m.Pix {
+		v := s.Float64()
+		m.Pix[i] = uint8(255 * v * v) // dark-heavy
+	}
+	return m
+}
+
+func TestSolveClippedMonotoneAndRange(t *testing.T) {
+	h := histogram.Of(skewed(1))
+	for _, cf := range []float64{1, 2, 4, 100} {
+		res, err := SolveClipped(h, 0, 150, cf)
+		if err != nil {
+			t.Fatalf("clip %v: %v", cf, err)
+		}
+		if !res.LUT.IsMonotone() {
+			t.Errorf("clip %v: LUT not monotone", cf)
+		}
+		lo, hi := res.LUT.Range()
+		if lo != 0 || int(hi) != 150 {
+			t.Errorf("clip %v: range [%d,%d], want [0,150]", cf, lo, hi)
+		}
+	}
+}
+
+func TestSolveClippedConvergesToGHE(t *testing.T) {
+	h := histogram.Of(skewed(2))
+	plain, err := SolveRange(h, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := SolveClipped(h, 0, 180, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With an enormous clip limit nothing clips: identical curves.
+	for v := 0; v < 256; v++ {
+		if math.Abs(plain.Exact[v]-loose.Exact[v]) > 1e-6 {
+			t.Fatalf("loose clip differs from GHE at %d: %v vs %v",
+				v, plain.Exact[v], loose.Exact[v])
+		}
+	}
+}
+
+func TestSolveClippedBoundsSlope(t *testing.T) {
+	// A histogram with one gigantic spike: plain GHE gives the spike a
+	// huge output jump (steep local slope); clipping at 2x the mean bin
+	// height must bound it.
+	m := gray.New(64, 64)
+	for i := range m.Pix {
+		if i%10 == 0 {
+			m.Pix[i] = uint8(i % 256)
+		} else {
+			m.Pix[i] = 128 // 90% of mass in one level
+		}
+	}
+	h := histogram.Of(m)
+	plain, err := SolveRange(h, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped, err := SolveClipped(h, 0, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jumpPlain := plain.Exact[129] - plain.Exact[127]
+	jumpClipped := clipped.Exact[129] - clipped.Exact[127]
+	if jumpClipped >= jumpPlain/4 {
+		t.Errorf("clipping did not bound the spike slope: %v vs %v", jumpClipped, jumpPlain)
+	}
+}
+
+func TestSolveClippedErrors(t *testing.T) {
+	h := histogram.Of(skewed(3))
+	if _, err := SolveClipped(nil, 0, 100, 2); err == nil {
+		t.Error("nil histogram should error")
+	}
+	if _, err := SolveClipped(h, 0, 100, 0.5); err == nil {
+		t.Error("clip factor < 1 should error")
+	}
+	if _, err := SolveClipped(h, 100, 100, 2); err == nil {
+		t.Error("degenerate limits should error")
+	}
+	if _, err := SolveClipped(h, -1, 100, 2); err == nil {
+		t.Error("negative gmin should error")
+	}
+}
+
+func TestSolveBBHEMonotoneAndRange(t *testing.T) {
+	h := histogram.Of(skewed(4))
+	res, err := SolveBBHE(h, 0, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LUT.IsMonotone() {
+		t.Error("BBHE LUT not monotone")
+	}
+	for v := 1; v < 256; v++ {
+		if res.Exact[v] < res.Exact[v-1]-1e-9 {
+			t.Fatalf("BBHE exact curve decreases at %d", v)
+		}
+	}
+	lo, hi := res.LUT.Range()
+	if lo != 0 || int(hi) != 150 {
+		t.Errorf("range [%d,%d], want [0,150]", lo, hi)
+	}
+}
+
+func TestSolveBBHEPreservesBrightnessBetter(t *testing.T) {
+	// The point of BBHE: after contrast compensation (scaling the
+	// transformed range back to full), the mean brightness stays closer
+	// to the original than under plain GHE on a skewed image.
+	img := skewed(5)
+	h := histogram.Of(img)
+	const r = 150
+	scale := 255.0 / r
+	meanOf := func(res *Result) float64 {
+		out := res.LUT.Apply(img)
+		sum := 0.0
+		for _, p := range out.Pix {
+			sum += float64(p) * scale // compensated brightness
+		}
+		return sum / float64(len(out.Pix))
+	}
+	orig := 0.0
+	for _, p := range img.Pix {
+		orig += float64(p)
+	}
+	orig /= float64(len(img.Pix))
+
+	plain, err := SolveRange(h, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbhe, err := SolveBBHE(h, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPlain := math.Abs(meanOf(plain) - orig)
+	dBBHE := math.Abs(meanOf(bbhe) - orig)
+	if dBBHE >= dPlain {
+		t.Errorf("BBHE brightness shift %v not below GHE's %v", dBBHE, dPlain)
+	}
+}
+
+func TestSolveBBHESplitPointOrdering(t *testing.T) {
+	// Lower-half outputs stay at or below upper-half outputs.
+	img := skewed(6)
+	h := histogram.Of(img)
+	res, err := SolveBBHE(h, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLow := -1.0
+	minHigh := 1e9
+	// Find the split: the mean input level.
+	sum := 0.0
+	for v, c := range h.Bins {
+		sum += float64(v) * float64(c)
+	}
+	xm := int(math.Round(sum / float64(h.N)))
+	for v := 0; v <= xm; v++ {
+		if res.Exact[v] > maxLow {
+			maxLow = res.Exact[v]
+		}
+	}
+	for v := xm + 1; v < 256; v++ {
+		if res.Exact[v] < minHigh {
+			minHigh = res.Exact[v]
+		}
+	}
+	if maxLow > minHigh {
+		t.Errorf("sub-band outputs overlap: maxLow %v > minHigh %v", maxLow, minHigh)
+	}
+}
+
+func TestSolveBBHEDegenerateFallsBack(t *testing.T) {
+	// Constant image: one side of the split is empty -> plain GHE path.
+	m := gray.New(8, 8)
+	m.Fill(0) // mean = 0, upper side empty... xm clamps, nl = all, nu = 0
+	res, err := SolveBBHE(histogram.Of(m), 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.LUT.IsMonotone() {
+		t.Error("degenerate BBHE must stay monotone")
+	}
+}
+
+func TestSolveBBHEErrors(t *testing.T) {
+	h := histogram.Of(skewed(7))
+	if _, err := SolveBBHE(nil, 0, 100); err == nil {
+		t.Error("nil histogram should error")
+	}
+	if _, err := SolveBBHE(h, 50, 50); err == nil {
+		t.Error("degenerate limits should error")
+	}
+	if _, err := SolveBBHE(h, 0, 300); err == nil {
+		t.Error("gmax > 255 should error")
+	}
+}

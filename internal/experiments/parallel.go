@@ -1,0 +1,52 @@
+// Concurrent fan-out over the benchmark suite. The experiments are
+// embarrassingly parallel across images; results are written into
+// per-image slots and reduced sequentially afterwards, so parallel
+// runs produce bit-identical numbers to serial ones (floating-point
+// accumulation order never changes).
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"hebs/internal/sipi"
+)
+
+// forEachImage runs fn for every suite image concurrently, bounded by
+// the CPU count. fn receives the image index so callers can write into
+// pre-allocated result slots without synchronization. The first error
+// wins; remaining work still drains before returning.
+func forEachImage(suite []sipi.NamedImage, fn func(i int, ni sipi.NamedImage) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(suite) {
+		workers = len(suite)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i, suite[i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range suite {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

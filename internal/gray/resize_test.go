@@ -1,0 +1,174 @@
+package gray
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func gradientImg(w, h int) *Image {
+	m := New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.Set(x, y, uint8((x*255)/(w-1+boolToInt(w == 1))))
+		}
+	}
+	return m
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestResizeIdentity(t *testing.T) {
+	m := gradientImg(16, 12)
+	out, err := m.Resize(16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(out) {
+		t.Error("same-size resize should be an exact copy")
+	}
+	out.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("same-size resize must not alias storage")
+	}
+}
+
+func TestResizeValidation(t *testing.T) {
+	m := New(4, 4)
+	for _, dims := range [][2]int{{0, 4}, {4, 0}, {-1, 4}} {
+		if _, err := m.Resize(dims[0], dims[1]); err == nil {
+			t.Errorf("Resize(%d,%d) should error", dims[0], dims[1])
+		}
+		if _, err := m.ResizeBox(dims[0], dims[1]); err == nil {
+			t.Errorf("ResizeBox(%d,%d) should error", dims[0], dims[1])
+		}
+	}
+	if _, err := m.ResizeBox(8, 4); err == nil {
+		t.Error("ResizeBox upscale should error")
+	}
+}
+
+func TestResizeConstantStaysConstant(t *testing.T) {
+	m := New(10, 10)
+	m.Fill(137)
+	for _, dims := range [][2]int{{5, 5}, {20, 20}, {3, 17}} {
+		out, err := m.Resize(dims[0], dims[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range out.Pix {
+			if p != 137 {
+				t.Fatalf("resize %v: pixel %d = %d, want 137", dims, i, p)
+			}
+		}
+	}
+	box, err := m.ResizeBox(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range box.Pix {
+		if p != 137 {
+			t.Fatal("box resize broke a constant image")
+		}
+	}
+}
+
+func TestResizePreservesGradient(t *testing.T) {
+	m := gradientImg(64, 8)
+	out, err := m.Resize(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Still a monotone ramp with similar endpoints.
+	for y := 0; y < out.H; y++ {
+		prev := -1
+		for x := 0; x < out.W; x++ {
+			v := int(out.At(x, y))
+			if v < prev {
+				t.Fatalf("gradient no longer monotone at (%d,%d)", x, y)
+			}
+			prev = v
+		}
+	}
+	if out.At(0, 0) > 10 || out.At(31, 0) < 245 {
+		t.Errorf("endpoints drifted: %d..%d", out.At(0, 0), out.At(31, 0))
+	}
+}
+
+func TestResizeMeanPreservedProperty(t *testing.T) {
+	// Bilinear and box downscales keep the global mean within a few
+	// levels on arbitrary images.
+	f := func(seed []byte) bool {
+		if len(seed) < 16 {
+			return true
+		}
+		m := New(16, 16)
+		for i := range m.Pix {
+			m.Pix[i] = seed[i%len(seed)]
+		}
+		origMean := m.Statistics().Mean
+		bil, err := m.Resize(8, 8)
+		if err != nil {
+			return false
+		}
+		box, err := m.ResizeBox(8, 8)
+		if err != nil {
+			return false
+		}
+		return math.Abs(bil.Statistics().Mean-origMean) < 20 &&
+			math.Abs(box.Statistics().Mean-origMean) < 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResizeBoxAveragesExactly(t *testing.T) {
+	// 2x2 -> 1x1 is the plain mean.
+	m := New(2, 2)
+	m.Pix = []uint8{10, 20, 30, 40}
+	out, err := m.ResizeBox(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pix[0] != 25 {
+		t.Errorf("box average = %d, want 25", out.Pix[0])
+	}
+}
+
+func TestResizeExtremeDims(t *testing.T) {
+	m := gradientImg(32, 32)
+	// Down to a single pixel and up from a single pixel.
+	one, err := m.Resize(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.W != 1 || one.H != 1 {
+		t.Fatal("1x1 resize wrong shape")
+	}
+	big, err := one.Resize(7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range big.Pix {
+		if p != one.Pix[0] {
+			t.Fatal("upscale of single pixel should be constant")
+		}
+	}
+}
+
+func TestResizeBoxIdentity(t *testing.T) {
+	m := gradientImg(8, 8)
+	out, err := m.ResizeBox(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(out) {
+		t.Error("same-size box resize should be exact")
+	}
+}

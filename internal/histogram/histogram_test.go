@@ -1,0 +1,270 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hebs/internal/gray"
+)
+
+func ramp() *gray.Image {
+	m := gray.New(256, 1)
+	for x := 0; x < 256; x++ {
+		m.Set(x, 0, uint8(x))
+	}
+	return m
+}
+
+func TestOfCountsEveryPixel(t *testing.T) {
+	m := gray.New(3, 2)
+	m.Pix = []uint8{0, 0, 5, 5, 5, 255}
+	h := Of(m)
+	if h.N != 6 {
+		t.Errorf("N = %d, want 6", h.N)
+	}
+	if h.Bins[0] != 2 || h.Bins[5] != 3 || h.Bins[255] != 1 {
+		t.Errorf("bins wrong: %v %v %v", h.Bins[0], h.Bins[5], h.Bins[255])
+	}
+}
+
+func TestFromBins(t *testing.T) {
+	var bins [Levels]int
+	bins[10] = 4
+	h, err := FromBins(bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != 4 {
+		t.Errorf("N = %d, want 4", h.N)
+	}
+	bins[11] = -1
+	if _, err := FromBins(bins); err == nil {
+		t.Error("negative bin should error")
+	}
+	var empty [Levels]int
+	if _, err := FromBins(empty); err == nil {
+		t.Error("empty histogram should error")
+	}
+}
+
+func TestCDFMonotoneAndTotal(t *testing.T) {
+	h := Of(ramp())
+	cdf := h.CDF()
+	prev := 0
+	for v := 0; v < Levels; v++ {
+		if cdf[v] < prev {
+			t.Fatalf("CDF decreases at %d", v)
+		}
+		prev = cdf[v]
+	}
+	if cdf[Levels-1] != h.N {
+		t.Errorf("CDF[255] = %d, want N=%d", cdf[Levels-1], h.N)
+	}
+}
+
+func TestNormalizedCDF(t *testing.T) {
+	h := Of(ramp())
+	n := h.NormalizedCDF()
+	if n[Levels-1] != 1 {
+		t.Errorf("normalized CDF end = %v, want 1", n[Levels-1])
+	}
+	if math.Abs(n[127]-128.0/256.0) > 1e-12 {
+		t.Errorf("normalized CDF mid = %v", n[127])
+	}
+}
+
+func TestMinMaxDynamicRange(t *testing.T) {
+	m := gray.New(2, 2)
+	m.Pix = []uint8{30, 40, 50, 200}
+	h := Of(m)
+	if h.MinLevel() != 30 || h.MaxLevel() != 200 || h.DynamicRange() != 170 {
+		t.Errorf("min/max/range = %d/%d/%d", h.MinLevel(), h.MaxLevel(), h.DynamicRange())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	h := Of(ramp())
+	p50, err := h.Percentile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p50 != 127 {
+		t.Errorf("p50 = %d, want 127", p50)
+	}
+	p0, _ := h.Percentile(0)
+	p1, _ := h.Percentile(1)
+	if p0 != 0 || p1 != 255 {
+		t.Errorf("p0/p1 = %d/%d", p0, p1)
+	}
+	if _, err := h.Percentile(1.5); err == nil {
+		t.Error("percentile > 1 should error")
+	}
+}
+
+func TestClippedRange(t *testing.T) {
+	h := Of(ramp())
+	lo, hi, err := h.ClippedRange(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 20 || lo > 30 || hi < 225 || hi > 235 {
+		t.Errorf("clipped range [%d,%d], want ~[25,230]", lo, hi)
+	}
+	if _, _, err := h.ClippedRange(0.5); err == nil {
+		t.Error("clip = 0.5 should error")
+	}
+	if _, _, err := h.ClippedRange(-0.1); err == nil {
+		t.Error("negative clip should error")
+	}
+}
+
+func TestClippedRangeDegenerate(t *testing.T) {
+	m := gray.New(4, 1)
+	m.Fill(80)
+	lo, hi, err := Of(m).ClippedRange(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 80 || hi != 80 {
+		t.Errorf("constant image clipped to [%d,%d], want [80,80]", lo, hi)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u, err := Uniform(1000, 50, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u[49] != 0 || u[50] != 0 {
+		t.Errorf("U below gmin should be 0, got %v,%v", u[49], u[50])
+	}
+	if u[150] != 1000 || u[200] != 1000 {
+		t.Errorf("U at/above gmax should be N, got %v,%v", u[150], u[200])
+	}
+	if math.Abs(u[100]-500) > 1e-9 {
+		t.Errorf("U midpoint = %v, want 500", u[100])
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform(0, 0, 10); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Uniform(10, -1, 10); err == nil {
+		t.Error("gmin<0 should error")
+	}
+	if _, err := Uniform(10, 0, 256); err == nil {
+		t.Error("gmax>255 should error")
+	}
+	if _, err := Uniform(10, 10, 10); err == nil {
+		t.Error("gmin==gmax should error")
+	}
+}
+
+func TestL1CDFDistance(t *testing.T) {
+	a, _ := Uniform(100, 0, 255)
+	b, _ := Uniform(100, 0, 255)
+	if d := L1CDFDistance(a, b, 100); d != 0 {
+		t.Errorf("identical CDFs distance = %v, want 0", d)
+	}
+	c, _ := Uniform(100, 100, 200)
+	if d := L1CDFDistance(a, c, 100); d <= 0 {
+		t.Errorf("different CDFs distance = %v, want > 0", d)
+	}
+	if d := L1CDFDistance(a, c, 0); d != 0 {
+		t.Errorf("n=0 distance = %v, want 0", d)
+	}
+}
+
+func TestEarthMoverDistance(t *testing.T) {
+	m1 := gray.New(4, 1)
+	m1.Fill(10)
+	m2 := gray.New(4, 1)
+	m2.Fill(20)
+	d, err := EarthMoverDistance(Of(m1), Of(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 10 {
+		t.Errorf("EMD = %v, want 10 (shift by 10 levels)", d)
+	}
+	self, _ := EarthMoverDistance(Of(m1), Of(m1))
+	if self != 0 {
+		t.Errorf("EMD to self = %v, want 0", self)
+	}
+	m3 := gray.New(5, 1)
+	if _, err := EarthMoverDistance(Of(m1), Of(m3)); err == nil {
+		t.Error("unequal mass should error")
+	}
+}
+
+func TestEMDSymmetry(t *testing.T) {
+	f := func(p1, p2 [8]byte) bool {
+		a := gray.New(8, 1)
+		b := gray.New(8, 1)
+		copy(a.Pix, p1[:])
+		copy(b.Pix, p2[:])
+		d1, e1 := EarthMoverDistance(Of(a), Of(b))
+		d2, e2 := EarthMoverDistance(Of(b), Of(a))
+		return e1 == nil && e2 == nil && math.Abs(d1-d2) < 1e-12 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlatness(t *testing.T) {
+	// Uniform ramp is perfectly flat.
+	if f := Of(ramp()).Flatness(); math.Abs(f-1) > 1e-9 {
+		t.Errorf("ramp flatness = %v, want 1", f)
+	}
+	// Constant image has width 1 -> flatness 0 by definition.
+	m := gray.New(4, 1)
+	m.Fill(7)
+	if f := Of(m).Flatness(); f != 0 {
+		t.Errorf("constant flatness = %v, want 0", f)
+	}
+	// Two spikes at the ends of a wide range: very unflat.
+	m2 := gray.New(100, 1)
+	for i := range m2.Pix {
+		if i%2 == 0 {
+			m2.Pix[i] = 0
+		} else {
+			m2.Pix[i] = 255
+		}
+	}
+	if f := Of(m2).Flatness(); f > 0.1 {
+		t.Errorf("bimodal flatness = %v, want near 0", f)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Constant image: zero entropy.
+	m := gray.New(4, 1)
+	m.Fill(9)
+	if e := Of(m).Entropy(); e != 0 {
+		t.Errorf("constant entropy = %v, want 0", e)
+	}
+	// Full uniform ramp: 8 bits.
+	if e := Of(ramp()).Entropy(); math.Abs(e-8) > 1e-9 {
+		t.Errorf("ramp entropy = %v, want 8", e)
+	}
+}
+
+func TestEntropyUpperBoundProperty(t *testing.T) {
+	f := func(pix []byte) bool {
+		if len(pix) == 0 {
+			return true
+		}
+		m, err := gray.FromPix(len(pix), 1, pix)
+		if err != nil {
+			return false
+		}
+		e := Of(m).Entropy()
+		return e >= 0 && e <= 8+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Color image I/O: PPM and PNG round trips for the rgb.Image type used
+// by the color HEBS path.
+package imageio
+
+import (
+	"bufio"
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hebs/internal/rgb"
+)
+
+// DecodePNMColor decodes a PPM (P3/P6) stream preserving color. PGM
+// (P2/P5) streams are accepted and lifted to neutral color.
+func DecodePNMColor(r io.Reader) (*rgb.Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pnmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	var channels int
+	var ascii bool
+	switch magic {
+	case "P2":
+		channels, ascii = 1, true
+	case "P5":
+		channels, ascii = 1, false
+	case "P3":
+		channels, ascii = 3, true
+	case "P6":
+		channels, ascii = 3, false
+	default:
+		return nil, ErrFormat
+	}
+	w, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("imageio: bad width: %w", err)
+	}
+	h, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("imageio: bad height: %w", err)
+	}
+	maxval, err := pnmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("imageio: bad maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w > maxDim || h > maxDim {
+		return nil, fmt.Errorf("imageio: unreasonable dimensions %dx%d", w, h)
+	}
+	if maxval <= 0 || maxval > 65535 {
+		return nil, fmt.Errorf("imageio: unreasonable maxval %d", maxval)
+	}
+	n := w * h * channels
+	samples := make([]int, n)
+	if ascii {
+		for i := 0; i < n; i++ {
+			v, err := pnmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("imageio: truncated ASCII data at sample %d: %w", i, err)
+			}
+			samples[i] = v
+		}
+	} else {
+		bytesPerSample := 1
+		if maxval > 255 {
+			bytesPerSample = 2
+		}
+		buf := make([]byte, n*bytesPerSample)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imageio: truncated binary data: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			if bytesPerSample == 1 {
+				samples[i] = int(buf[i])
+			} else {
+				samples[i] = int(buf[2*i])<<8 | int(buf[2*i+1])
+			}
+		}
+	}
+	for i, s := range samples {
+		if s < 0 || s > maxval {
+			return nil, fmt.Errorf("imageio: sample %d value %d exceeds maxval %d", i, s, maxval)
+		}
+	}
+	scale := func(v int) uint8 { return uint8((v*255 + maxval/2) / maxval) }
+	out := rgb.New(w, h)
+	for p := 0; p < w*h; p++ {
+		if channels == 1 {
+			v := scale(samples[p])
+			out.Pix[3*p], out.Pix[3*p+1], out.Pix[3*p+2] = v, v, v
+		} else {
+			out.Pix[3*p] = scale(samples[3*p])
+			out.Pix[3*p+1] = scale(samples[3*p+1])
+			out.Pix[3*p+2] = scale(samples[3*p+2])
+		}
+	}
+	return out, nil
+}
+
+// EncodePPM writes the color image as binary PPM (P6).
+func EncodePPM(w io.Writer, img *rgb.Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", img.W, img.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(img.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// EncodePNGColor writes the color image as PNG.
+func EncodePNGColor(w io.Writer, img *rgb.Image) error {
+	return png.Encode(w, img.ToStdImage())
+}
+
+// DecodePNGColor reads a PNG preserving color.
+func DecodePNGColor(r io.Reader) (*rgb.Image, error) {
+	std, err := png.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return rgb.FromStdImage(std), nil
+}
+
+// LoadColor reads an image file preserving color, dispatching on the
+// extension like Load.
+func LoadColor(path string) (*rgb.Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".pgm", ".ppm", ".pnm":
+		return DecodePNMColor(f)
+	case ".png":
+		return DecodePNGColor(f)
+	default:
+		std, _, err := image.Decode(f)
+		if err != nil {
+			return nil, fmt.Errorf("imageio: cannot decode %s: %w", path, err)
+		}
+		return rgb.FromStdImage(std), nil
+	}
+}
+
+// SaveColor writes a color image file (.ppm binary PPM, .png PNG).
+func SaveColor(path string, img *rgb.Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var encErr error
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".ppm", ".pnm":
+		encErr = EncodePPM(f, img)
+	case ".png":
+		encErr = EncodePNGColor(f, img)
+	default:
+		encErr = fmt.Errorf("imageio: unsupported color output extension %q", filepath.Ext(path))
+	}
+	if closeErr := f.Close(); encErr == nil {
+		encErr = closeErr
+	}
+	return encErr
+}

@@ -1,0 +1,239 @@
+// Package plc solves the Piecewise Linear Coarsening (PLC) problem of
+// Section 4.1 of the paper: given the exact transformation curve
+// P = {p_1, …, p_n} (one point per grayscale level), approximate it by
+// a piecewise-linear curve Λ with only m segments whose endpoints
+// Q ⊆ P satisfy q_1 = p_1 and q_m+1 = p_n (Eq. 8), minimizing the mean
+// squared error between Φ and Λ.
+//
+// The solver is the dynamic program of Eq. 9 with per-chord squared
+// errors; its complexity is O(m·n²) transitions over an O(n²)
+// precomputed chord-error table, matching the paper's stated bound.
+// m is set by the number of controllable reference-voltage sources in
+// the LCD driver (Figure 5b), which is what makes small m valuable.
+package plc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hebs/internal/transform"
+)
+
+// Result is a solved PLC instance.
+type Result struct {
+	// Indices are the positions in the input point list chosen as
+	// segment endpoints, ascending, always including 0 and n-1.
+	// len(Indices) == Segments+1.
+	Indices []int
+	// Points are the chosen endpoints Q themselves.
+	Points []transform.Point
+	// Segments is the number of linear segments m.
+	Segments int
+	// MSE is the mean squared error between the exact curve and the
+	// coarsened one, over all n input points (squared level units).
+	MSE float64
+}
+
+// chordTable evaluates e(i, j) = Σ_{k=i+1..j-1} (chord_{i,j}(x_k) − y_k)²
+// — the cost of replacing points i..j by the single line connecting p_i
+// to p_j (the e(·) term of Eq. 9) — in O(1) per query via prefix sums.
+//
+// Writing s for the chord slope, d_k = x_k − x_i and e_k = y_k − y_i:
+//
+//	e(i,j) = Σ (s·d_k − e_k)² = s²·Σd_k² − 2s·Σd_k e_k + Σe_k²
+//
+// and each Σ over k expands into prefix sums of x, x², y, y², x·y.
+type chordTable struct {
+	pts                   []transform.Point
+	px, pxx, py, pyy, pxy []float64
+}
+
+func newChordTable(pts []transform.Point) *chordTable {
+	n := len(pts)
+	t := &chordTable{
+		pts: pts,
+		px:  make([]float64, n+1),
+		pxx: make([]float64, n+1),
+		py:  make([]float64, n+1),
+		pyy: make([]float64, n+1),
+		pxy: make([]float64, n+1),
+	}
+	for k, p := range pts {
+		x, y := float64(p.X), p.Y
+		t.px[k+1] = t.px[k] + x
+		t.pxx[k+1] = t.pxx[k] + x*x
+		t.py[k+1] = t.py[k] + y
+		t.pyy[k+1] = t.pyy[k] + y*y
+		t.pxy[k+1] = t.pxy[k] + x*y
+	}
+	return t
+}
+
+// at returns e(i, j) for i < j.
+func (t *chordTable) at(i, j int) float64 {
+	if j-i < 2 {
+		return 0
+	}
+	xi, yi := float64(t.pts[i].X), t.pts[i].Y
+	xj, yj := float64(t.pts[j].X), t.pts[j].Y
+	s := (yj - yi) / (xj - xi) // X strictly increasing: no division by zero
+	// Interior sums over k = i+1 .. j-1.
+	lo, hi := i+1, j
+	cnt := float64(hi - lo)
+	sx := t.px[hi] - t.px[lo]
+	sxx := t.pxx[hi] - t.pxx[lo]
+	sy := t.py[hi] - t.py[lo]
+	syy := t.pyy[hi] - t.pyy[lo]
+	sxy := t.pxy[hi] - t.pxy[lo]
+	// Σd² = Σx² − 2xiΣx + n·xi² ; Σde = Σxy − xiΣy − yiΣx + n·xi·yi ;
+	// Σe² = Σy² − 2yiΣy + n·yi².
+	sd2 := sxx - 2*xi*sx + cnt*xi*xi
+	sde := sxy - xi*sy - yi*sx + cnt*xi*yi
+	se2 := syy - 2*yi*sy + cnt*yi*yi
+	e := s*s*sd2 - 2*s*sde + se2
+	if e < 0 {
+		// Float cancellation on near-collinear stretches.
+		e = 0
+	}
+	return e
+}
+
+// Coarsen solves PLC for the given exact curve and segment budget m.
+// The input points must have strictly increasing X and at least two
+// entries; m must satisfy 1 <= m <= len(pts)-1.
+func Coarsen(pts []transform.Point, m int) (*Result, error) {
+	n := len(pts)
+	if n < 2 {
+		return nil, errors.New("plc: need at least two points")
+	}
+	for i := 1; i < n; i++ {
+		if pts[i].X <= pts[i-1].X {
+			return nil, fmt.Errorf("plc: X not strictly increasing at %d", i)
+		}
+	}
+	if m < 1 || m > n-1 {
+		return nil, fmt.Errorf("plc: segment count %d outside [1,%d]", m, n-1)
+	}
+	cerr := newChordTable(pts)
+
+	// dp[k][j]: minimal total squared error covering points 0..j with k
+	// chords ending exactly at j. parent[k][j] reconstructs the split.
+	const inf = math.MaxFloat64
+	dp := make([][]float64, m+1)
+	parent := make([][]int, m+1)
+	for k := range dp {
+		dp[k] = make([]float64, n)
+		parent[k] = make([]int, n)
+		for j := range dp[k] {
+			dp[k][j] = inf
+			parent[k][j] = -1
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= m; k++ {
+		for j := k; j < n; j++ {
+			best := inf
+			bestI := -1
+			for i := k - 1; i < j; i++ {
+				if dp[k-1][i] == inf {
+					continue
+				}
+				c := dp[k-1][i] + cerr.at(i, j)
+				if c < best {
+					best = c
+					bestI = i
+				}
+			}
+			dp[k][j] = best
+			parent[k][j] = bestI
+		}
+	}
+	if dp[m][n-1] == inf {
+		return nil, fmt.Errorf("plc: no feasible %d-segment cover", m)
+	}
+	// Reconstruct endpoint indices.
+	idx := make([]int, m+1)
+	j := n - 1
+	for k := m; k >= 1; k-- {
+		idx[k] = j
+		j = parent[k][j]
+	}
+	idx[0] = 0
+	res := &Result{
+		Indices:  idx,
+		Segments: m,
+		MSE:      dp[m][n-1] / float64(n),
+	}
+	res.Points = make([]transform.Point, len(idx))
+	for i, id := range idx {
+		res.Points[i] = pts[id]
+	}
+	return res, nil
+}
+
+// CoarsenToTolerance finds the smallest segment count m whose PLC
+// solution has MSE at most maxMSE, by doubling then binary search.
+// It returns the corresponding Result. maxSegments bounds the search
+// (pass len(pts)-1 for no practical bound).
+func CoarsenToTolerance(pts []transform.Point, maxMSE float64, maxSegments int) (*Result, error) {
+	if maxMSE < 0 {
+		return nil, errors.New("plc: negative tolerance")
+	}
+	n := len(pts)
+	if maxSegments < 1 || maxSegments > n-1 {
+		maxSegments = n - 1
+	}
+	lo, hi := 1, maxSegments
+	var best *Result
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		r, err := Coarsen(pts, mid)
+		if err != nil {
+			return nil, err
+		}
+		if r.MSE <= maxMSE {
+			best = r
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("plc: tolerance %v unreachable within %d segments", maxMSE, maxSegments)
+	}
+	return best, nil
+}
+
+// LUT renders the coarsened curve into an applicable 8-bit LUT. The
+// input curve must span the full [0,255] domain for this to be valid
+// (which GHE curves always do); otherwise an error is returned by the
+// underlying transform.Piecewise.
+func (r *Result) LUT() (*transform.LUT, error) {
+	return transform.Piecewise(r.Points)
+}
+
+// CurveMSE evaluates the mean squared error between an arbitrary
+// piecewise-linear approximation (given by its endpoint subset) and the
+// exact curve — used by tests to cross-check the DP's optimality.
+func CurveMSE(pts []transform.Point, indices []int) (float64, error) {
+	if len(indices) < 2 || indices[0] != 0 || indices[len(indices)-1] != len(pts)-1 {
+		return 0, errors.New("plc: indices must span the curve")
+	}
+	total := 0.0
+	for s := 0; s+1 < len(indices); s++ {
+		i, j := indices[s], indices[s+1]
+		if j <= i {
+			return 0, errors.New("plc: indices not increasing")
+		}
+		xi, yi := float64(pts[i].X), pts[i].Y
+		xj, yj := float64(pts[j].X), pts[j].Y
+		slope := (yj - yi) / (xj - xi)
+		for k := i + 1; k < j; k++ {
+			pred := yi + slope*(float64(pts[k].X)-xi)
+			d := pred - pts[k].Y
+			total += d * d
+		}
+	}
+	return total / float64(len(pts)), nil
+}

@@ -1,0 +1,372 @@
+package plc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hebs/internal/equalize"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/rng"
+	"hebs/internal/transform"
+)
+
+// linePts samples y = a·x + b at n integer points.
+func linePts(n int, a, b float64) []transform.Point {
+	pts := make([]transform.Point, n)
+	for i := range pts {
+		pts[i] = transform.Point{X: i, Y: a*float64(i) + b}
+	}
+	return pts
+}
+
+func TestCoarsenExactLine(t *testing.T) {
+	pts := linePts(100, 0.5, 3)
+	r, err := Coarsen(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MSE > 1e-18 {
+		t.Errorf("line MSE = %v, want 0", r.MSE)
+	}
+	if len(r.Indices) != 2 || r.Indices[0] != 0 || r.Indices[1] != 99 {
+		t.Errorf("indices = %v, want [0 99]", r.Indices)
+	}
+	if r.Segments != 1 {
+		t.Errorf("segments = %d, want 1", r.Segments)
+	}
+}
+
+func TestCoarsenVShape(t *testing.T) {
+	// A perfect V needs exactly 2 segments with the corner as endpoint.
+	pts := make([]transform.Point, 21)
+	for i := range pts {
+		y := float64(i)
+		if i > 10 {
+			y = float64(20 - i)
+		}
+		pts[i] = transform.Point{X: i, Y: y}
+	}
+	r, err := Coarsen(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MSE > 1e-18 {
+		t.Errorf("V-shape 2-segment MSE = %v, want 0", r.MSE)
+	}
+	if r.Indices[1] != 10 {
+		t.Errorf("corner endpoint = %d, want 10", r.Indices[1])
+	}
+	// One segment cannot be exact.
+	r1, err := Coarsen(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MSE <= 0 {
+		t.Errorf("1-segment V MSE = %v, want > 0", r1.MSE)
+	}
+}
+
+func TestCoarsenMSEMonotoneInSegments(t *testing.T) {
+	// More segments never hurt.
+	pts := make([]transform.Point, 64)
+	for i := range pts {
+		pts[i] = transform.Point{X: i, Y: math.Sin(float64(i)/5) * 30}
+	}
+	prev := math.Inf(1)
+	for _, m := range []int{1, 2, 4, 8, 16, 32} {
+		r, err := Coarsen(pts, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MSE > prev+1e-12 {
+			t.Errorf("MSE rose from %v to %v at m=%d", prev, r.MSE, m)
+		}
+		prev = r.MSE
+	}
+	// Full budget (n-1 segments) is exact.
+	r, err := Coarsen(pts, len(pts)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MSE > 1e-18 {
+		t.Errorf("full-budget MSE = %v, want 0", r.MSE)
+	}
+}
+
+func TestCoarsenEndpointsFixed(t *testing.T) {
+	pts := linePts(50, 1, 0)
+	pts[25].Y = 40 // a bump
+	r, err := Coarsen(pts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Indices[0] != 0 || r.Indices[len(r.Indices)-1] != 49 {
+		t.Errorf("endpoints not fixed: %v", r.Indices)
+	}
+	if r.Points[0] != pts[0] || r.Points[len(r.Points)-1] != pts[49] {
+		t.Error("endpoint points not preserved")
+	}
+	for i := 1; i < len(r.Indices); i++ {
+		if r.Indices[i] <= r.Indices[i-1] {
+			t.Fatalf("indices not increasing: %v", r.Indices)
+		}
+	}
+}
+
+func TestCoarsenErrors(t *testing.T) {
+	if _, err := Coarsen(nil, 1); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := Coarsen(linePts(1, 1, 0), 1); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Coarsen(linePts(10, 1, 0), 0); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := Coarsen(linePts(10, 1, 0), 10); err == nil {
+		t.Error("m > n-1 should error")
+	}
+	bad := []transform.Point{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 5, Y: 2}}
+	if _, err := Coarsen(bad, 1); err == nil {
+		t.Error("non-increasing X should error")
+	}
+}
+
+func TestCoarsenOptimalVsBruteForce(t *testing.T) {
+	// Exhaustively check optimality on a small irregular curve.
+	ys := []float64{0, 3, 1, 7, 2, 9, 4, 11, 5}
+	pts := make([]transform.Point, len(ys))
+	for i, y := range ys {
+		pts[i] = transform.Point{X: i, Y: y}
+	}
+	n := len(pts)
+	for m := 1; m <= 4; m++ {
+		r, err := Coarsen(pts, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force: all (n-2 choose m-1) interior endpoint subsets.
+		best := math.Inf(1)
+		var rec func(start int, chosen []int)
+		rec = func(start int, chosen []int) {
+			if len(chosen) == m-1 {
+				idx := append([]int{0}, chosen...)
+				idx = append(idx, n-1)
+				v, err := CurveMSE(pts, idx)
+				if err == nil && v < best {
+					best = v
+				}
+				return
+			}
+			for i := start; i < n-1; i++ {
+				rec(i+1, append(chosen, i))
+			}
+		}
+		rec(1, nil)
+		if math.Abs(r.MSE-best) > 1e-12 {
+			t.Errorf("m=%d: DP MSE %v != brute force %v", m, r.MSE, best)
+		}
+	}
+}
+
+func TestCurveMSEConsistentWithResult(t *testing.T) {
+	pts := make([]transform.Point, 40)
+	for i := range pts {
+		pts[i] = transform.Point{X: i, Y: float64((i * i) % 17)}
+	}
+	r, err := Coarsen(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := CurveMSE(pts, r.Indices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-r.MSE) > 1e-12 {
+		t.Errorf("CurveMSE %v != Result.MSE %v", v, r.MSE)
+	}
+}
+
+func TestCurveMSEErrors(t *testing.T) {
+	pts := linePts(10, 1, 0)
+	if _, err := CurveMSE(pts, []int{0}); err == nil {
+		t.Error("too few indices should error")
+	}
+	if _, err := CurveMSE(pts, []int{1, 9}); err == nil {
+		t.Error("not starting at 0 should error")
+	}
+	if _, err := CurveMSE(pts, []int{0, 5}); err == nil {
+		t.Error("not ending at n-1 should error")
+	}
+	if _, err := CurveMSE(pts, []int{0, 5, 5, 9}); err == nil {
+		t.Error("non-increasing indices should error")
+	}
+}
+
+func TestCoarsenToTolerance(t *testing.T) {
+	pts := make([]transform.Point, 64)
+	for i := range pts {
+		pts[i] = transform.Point{X: i, Y: math.Sin(float64(i)/4) * 20}
+	}
+	r, err := CoarsenToTolerance(pts, 0.5, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MSE > 0.5 {
+		t.Errorf("tolerance violated: MSE %v > 0.5", r.MSE)
+	}
+	// Minimality: one fewer segment must exceed the tolerance.
+	if r.Segments > 1 {
+		fewer, err := Coarsen(pts, r.Segments-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fewer.MSE <= 0.5 {
+			t.Errorf("m=%d already meets tolerance (%v); result not minimal", r.Segments-1, fewer.MSE)
+		}
+	}
+}
+
+func TestCoarsenToToleranceErrors(t *testing.T) {
+	pts := linePts(10, 1, 0)
+	if _, err := CoarsenToTolerance(pts, -1, 9); err == nil {
+		t.Error("negative tolerance should error")
+	}
+	// A wiggly curve with maxSegments=1 and tolerance 0 is unreachable.
+	wig := []transform.Point{{X: 0, Y: 0}, {X: 1, Y: 5}, {X: 2, Y: 0}}
+	if _, err := CoarsenToTolerance(wig, 0, 1); err == nil {
+		t.Error("unreachable tolerance should error")
+	}
+}
+
+func TestLUTFromGHECurve(t *testing.T) {
+	// End-to-end: equalize a noisy image, coarsen to 8 segments, render
+	// a LUT; it must be monotone and match the exact curve closely.
+	m := gray.New(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			m.Set(x, y, uint8(255*rng.FBM(float64(x)/13, float64(y)/13, 4, 77)))
+		}
+	}
+	res, err := equalize.SolveRange(histogram.Of(m), 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Coarsen(res.Points(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lut, err := coarse.LUT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lut.IsMonotone() {
+		t.Error("coarsened GHE LUT must be monotone")
+	}
+	if lut.MSE(res.LUT) > 30 {
+		t.Errorf("8-segment approximation MSE = %v levels², want small", lut.MSE(res.LUT))
+	}
+	_, hi := lut.Range()
+	if int(hi) != 180 {
+		t.Errorf("coarsened range top = %d, want 180", hi)
+	}
+}
+
+func TestChordTableMatchesDirect(t *testing.T) {
+	// The prefix-sum chord error must agree with direct evaluation.
+	s := rng.New(5)
+	pts := make([]transform.Point, 64)
+	y := 0.0
+	for i := range pts {
+		y += s.Float64() * 7
+		pts[i] = transform.Point{X: i * 4, Y: y}
+	}
+	tbl := newChordTable(pts)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			xi, yi := float64(pts[i].X), pts[i].Y
+			xj, yj := float64(pts[j].X), pts[j].Y
+			slope := (yj - yi) / (xj - xi)
+			want := 0.0
+			for k := i + 1; k < j; k++ {
+				d := yi + slope*(float64(pts[k].X)-xi) - pts[k].Y
+				want += d * d
+			}
+			got := tbl.at(i, j)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("e(%d,%d) = %v, direct %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestChordTableCollinearZero(t *testing.T) {
+	pts := linePts(100, 2.5, -7)
+	tbl := newChordTable(pts)
+	if e := tbl.at(0, 99); e != 0 {
+		t.Errorf("collinear chord error = %v, want 0", e)
+	}
+	if e := tbl.at(3, 4); e != 0 {
+		t.Errorf("adjacent chord error = %v, want 0", e)
+	}
+}
+
+func BenchmarkCoarsenGHECurve(b *testing.B) {
+	m := gray.New(128, 128)
+	for y := 0; y < 128; y++ {
+		for x := 0; x < 128; x++ {
+			m.Set(x, y, uint8(255*rng.FBM(float64(x)/13, float64(y)/13, 4, 3)))
+		}
+	}
+	res, err := equalize.SolveRange(histogram.Of(m), 150)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := res.Points()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Coarsen(pts, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCoarsenPropertyOptimalAtLeastAsGoodAsUniformSplit(t *testing.T) {
+	f := func(seed uint64, mRaw uint8) bool {
+		s := rng.New(seed)
+		n := 32
+		pts := make([]transform.Point, n)
+		y := 0.0
+		for i := range pts {
+			y += s.Float64() * 5 // monotone random walk, like a CDF
+			pts[i] = transform.Point{X: i, Y: y}
+		}
+		m := int(mRaw)%8 + 1
+		r, err := Coarsen(pts, m)
+		if err != nil {
+			return false
+		}
+		// Uniformly spaced endpoints as a feasible competitor.
+		idx := make([]int, m+1)
+		for k := 0; k <= m; k++ {
+			idx[k] = k * (n - 1) / m
+		}
+		// Deduplicate (possible when m > n-1 is not the case here but
+		// rounding can collide for large m): skip if collision.
+		for k := 1; k <= m; k++ {
+			if idx[k] <= idx[k-1] {
+				return true
+			}
+		}
+		naive, err := CurveMSE(pts, idx)
+		if err != nil {
+			return false
+		}
+		return r.MSE <= naive+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

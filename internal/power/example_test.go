@@ -1,0 +1,44 @@
+package power_test
+
+import (
+	"fmt"
+
+	"hebs/internal/power"
+)
+
+// ExampleCCFL_Power evaluates the LP064V1 backlight model at full
+// drive and at half drive: the saturation region above the knee makes
+// the last 20% of brightness disproportionately expensive.
+func ExampleCCFL_Power() {
+	full, _ := power.DefaultCCFL.Power(1.0)
+	half, _ := power.DefaultCCFL.Power(0.5)
+	fmt.Printf("P(1.0) = %.3f W\n", full)
+	fmt.Printf("P(0.5) = %.3f W\n", half)
+	fmt.Printf("ratio  = %.1f\n", full/half)
+	// Output:
+	// P(1.0) = 2.620 W
+	// P(0.5) = 0.743 W
+	// ratio  = 3.5
+}
+
+// ExampleBetaForRange shows the link between the admissible dynamic
+// range chosen in HEBS step 1 and the backlight factor: compressing to
+// 153 of 255 levels lets the backlight drop to 60%.
+func ExampleBetaForRange() {
+	beta, _ := power.BetaForRange(153, 256)
+	fmt.Printf("beta = %.1f\n", beta)
+	back, _ := power.RangeForBeta(beta, 256)
+	fmt.Printf("range = %d\n", back)
+	// Output:
+	// beta = 0.6
+	// range = 153
+}
+
+// ExampleSystemModel_SystemSavingPercent converts a display-level
+// saving into the whole-device saving using the SmartBadge share from
+// the paper's introduction.
+func ExampleSystemModel_SystemSavingPercent() {
+	sys, _ := power.SmartBadgeActive.SystemSavingPercent(58)
+	fmt.Printf("system saving = %.1f%%\n", sys)
+	// Output: system saving = 16.6%
+}

@@ -1,0 +1,348 @@
+// Package quality implements the image-distortion measures used in the
+// paper and its baselines:
+//
+//   - the Universal Image Quality Index (UQI) of Wang & Bovik (ref. [8]
+//     of the paper), the measure HEBS adopts because it combines pixel
+//     differences with luminance/contrast/structure terms modeling the
+//     human visual system;
+//   - SSIM (ref. [6]), evaluated as the paper's stated future work;
+//   - plain MSE / PSNR for calibration;
+//   - the saturated-pixel percentage used by DLS [4]; and
+//   - the in-band pixel-preservation ("contrast fidelity") measure of
+//     CBCS [5].
+//
+// Distortion values are reported on the paper's percentage scale:
+// D = (1 − Q) × 100 for the indices Q in [−1, 1].
+package quality
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hebs/internal/gray"
+)
+
+// DefaultWindow is the sliding-window size for UQI/SSIM. Wang & Bovik's
+// reference implementation uses 8×8 for UQI.
+const DefaultWindow = 8
+
+// ErrShapeMismatch is returned when two images have different sizes.
+var ErrShapeMismatch = errors.New("quality: image shapes differ")
+
+func checkPair(a, b *gray.Image) error {
+	if a == nil || b == nil {
+		return errors.New("quality: nil image")
+	}
+	if a.W != b.W || a.H != b.H {
+		return fmt.Errorf("%w: %dx%d vs %dx%d", ErrShapeMismatch, a.W, a.H, b.W, b.H)
+	}
+	return nil
+}
+
+// MSE returns the mean squared error between two images in squared
+// 8-bit level units.
+func MSE(a, b *gray.Image) (float64, error) {
+	if err := checkPair(a, b); err != nil {
+		return 0, err
+	}
+	s := 0.0
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		s += d * d
+	}
+	return s / float64(len(a.Pix)), nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB. Identical images
+// yield +Inf.
+func PSNR(a, b *gray.Image) (float64, error) {
+	mse, err := MSE(a, b)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(255.0*255.0/mse), nil
+}
+
+// windowMoments accumulates the first and second moments of an aligned
+// pair of windows.
+type windowMoments struct {
+	n            float64
+	sumX, sumY   float64
+	sumXX, sumYY float64
+	sumXY        float64
+}
+
+func (m *windowMoments) add(x, y float64) {
+	m.n++
+	m.sumX += x
+	m.sumY += y
+	m.sumXX += x * x
+	m.sumYY += y * y
+	m.sumXY += x * y
+}
+
+func (m *windowMoments) stats() (mx, my, vx, vy, cov float64) {
+	mx = m.sumX / m.n
+	my = m.sumY / m.n
+	vx = m.sumXX/m.n - mx*mx
+	vy = m.sumYY/m.n - my*my
+	cov = m.sumXY/m.n - mx*my
+	// Guard tiny negatives from float cancellation.
+	if vx < 0 {
+		vx = 0
+	}
+	if vy < 0 {
+		vy = 0
+	}
+	return
+}
+
+// uqiWindow computes the Q index for a single window following the
+// degenerate-case handling of Wang & Bovik's reference implementation.
+func uqiWindow(m *windowMoments) float64 {
+	mx, my, vx, vy, cov := m.stats()
+	d1 := vx + vy
+	d2 := mx*mx + my*my
+	switch {
+	case d1 < 1e-12 && d2 < 1e-12:
+		// Both windows uniformly black: identical.
+		return 1
+	case d1 < 1e-12:
+		// Both windows flat: only the luminance term is defined.
+		return 2 * mx * my / d2
+	case d2 < 1e-12:
+		// Zero mean energy but nonzero variance cannot occur for
+		// non-negative pixels; defensively return the contrast/structure
+		// product.
+		return 2 * cov / d1
+	default:
+		return 4 * cov * mx * my / (d1 * d2)
+	}
+}
+
+// UQIOptions configures the UQI/SSIM computation.
+type UQIOptions struct {
+	// Window is the square window size (default DefaultWindow).
+	Window int
+	// Step is the window stride. 1 gives the fully sliding window of the
+	// reference implementation; Window gives non-overlapping blocks.
+	// Default 1.
+	Step int
+}
+
+func (o UQIOptions) normalized(w, h int) (UQIOptions, error) {
+	if o.Window == 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Step == 0 {
+		o.Step = 1
+	}
+	if o.Window < 1 || o.Step < 1 {
+		return o, fmt.Errorf("quality: bad options %+v", o)
+	}
+	if o.Window > w || o.Window > h {
+		// Fall back to a single whole-image window for tiny images.
+		o.Window = minInt(w, h)
+		o.Step = o.Window
+	}
+	return o, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sat holds the five summed-area tables (integral images) needed to
+// evaluate the first and second joint moments of any axis-aligned
+// window pair in O(1): Σx, Σy, Σx², Σy², Σxy. Pixel values are at most
+// 255, so even Σxy over the largest supported image fits comfortably
+// in int64.
+type sat struct {
+	w, h                  int
+	sx, sy, sxx, syy, sxy []int64
+}
+
+func newSAT(a, b *gray.Image) *sat {
+	w, h := a.W, a.H
+	stride := w + 1
+	s := &sat{
+		w: w, h: h,
+		sx:  make([]int64, stride*(h+1)),
+		sy:  make([]int64, stride*(h+1)),
+		sxx: make([]int64, stride*(h+1)),
+		syy: make([]int64, stride*(h+1)),
+		sxy: make([]int64, stride*(h+1)),
+	}
+	for y := 0; y < h; y++ {
+		var rx, ry, rxx, ryy, rxy int64
+		row := y * w
+		out := (y + 1) * stride
+		prev := y * stride
+		for x := 0; x < w; x++ {
+			av := int64(a.Pix[row+x])
+			bv := int64(b.Pix[row+x])
+			rx += av
+			ry += bv
+			rxx += av * av
+			ryy += bv * bv
+			rxy += av * bv
+			s.sx[out+x+1] = s.sx[prev+x+1] + rx
+			s.sy[out+x+1] = s.sy[prev+x+1] + ry
+			s.sxx[out+x+1] = s.sxx[prev+x+1] + rxx
+			s.syy[out+x+1] = s.syy[prev+x+1] + ryy
+			s.sxy[out+x+1] = s.sxy[prev+x+1] + rxy
+		}
+	}
+	return s
+}
+
+// moments returns the joint moments of the win×win window anchored at
+// (x, y).
+func (s *sat) moments(x, y, win int) windowMoments {
+	stride := s.w + 1
+	tl := y*stride + x
+	tr := tl + win
+	bl := (y+win)*stride + x
+	br := bl + win
+	box := func(t []int64) float64 {
+		return float64(t[br] - t[tr] - t[bl] + t[tl])
+	}
+	return windowMoments{
+		n:     float64(win * win),
+		sumX:  box(s.sx),
+		sumY:  box(s.sy),
+		sumXX: box(s.sxx),
+		sumYY: box(s.syy),
+		sumXY: box(s.sxy),
+	}
+}
+
+// UQI returns the Universal Image Quality Index between two images,
+// averaged over sliding windows. The result lies in [-1, 1], with 1 for
+// identical images. Window moments are evaluated through summed-area
+// tables, so the cost is O(pixels + windows) rather than
+// O(windows × window area).
+func UQI(a, b *gray.Image, opts UQIOptions) (float64, error) {
+	if err := checkPair(a, b); err != nil {
+		return 0, err
+	}
+	opts, err := opts.normalized(a.W, a.H)
+	if err != nil {
+		return 0, err
+	}
+	win, step := opts.Window, opts.Step
+	tables := newSAT(a, b)
+	total := 0.0
+	count := 0
+	for y := 0; y+win <= a.H; y += step {
+		for x := 0; x+win <= a.W; x += step {
+			m := tables.moments(x, y, win)
+			total += uqiWindow(&m)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, errors.New("quality: image smaller than window")
+	}
+	return total / float64(count), nil
+}
+
+// SSIM returns the Structural Similarity index with the standard
+// stabilizing constants C1=(0.01·L)², C2=(0.03·L)², L=255, averaged over
+// the same uniform sliding windows as UQI. (The original SSIM paper uses
+// an 11×11 Gaussian window; the uniform window preserves the index's
+// behaviour for the backlight-scaling comparisons made here and is what
+// UQI itself uses.)
+func SSIM(a, b *gray.Image, opts UQIOptions) (float64, error) {
+	if err := checkPair(a, b); err != nil {
+		return 0, err
+	}
+	opts, err := opts.normalized(a.W, a.H)
+	if err != nil {
+		return 0, err
+	}
+	const (
+		c1 = (0.01 * 255) * (0.01 * 255)
+		c2 = (0.03 * 255) * (0.03 * 255)
+	)
+	win, step := opts.Window, opts.Step
+	tables := newSAT(a, b)
+	total := 0.0
+	count := 0
+	for y := 0; y+win <= a.H; y += step {
+		for x := 0; x+win <= a.W; x += step {
+			m := tables.moments(x, y, win)
+			mx, my, vx, vy, cov := m.stats()
+			num := (2*mx*my + c1) * (2*cov + c2)
+			den := (mx*mx + my*my + c1) * (vx + vy + c2)
+			total += num / den
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, errors.New("quality: image smaller than window")
+	}
+	return total / float64(count), nil
+}
+
+// DistortionPercent converts a quality index Q in [-1,1] to the paper's
+// percentage distortion scale D = (1-Q)·100, clamped to [0, 200].
+func DistortionPercent(q float64) float64 {
+	d := (1 - q) * 100
+	if d < 0 {
+		return 0
+	}
+	if d > 200 {
+		return 200
+	}
+	return d
+}
+
+// UQIDistortion is shorthand for DistortionPercent(UQI(a, b)) with
+// default options — the paper's distortion measure D(F, F′).
+func UQIDistortion(a, b *gray.Image) (float64, error) {
+	q, err := UQI(a, b, UQIOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return DistortionPercent(q), nil
+}
+
+// SaturatedPercent returns the percentage of pixels lying outside the
+// band [lo, hi] — the image-distortion measure of DLS [4] (pixels that
+// saturate after brightness/contrast compensation) and the truncation
+// loss of CBCS [5].
+func SaturatedPercent(img *gray.Image, lo, hi uint8) (float64, error) {
+	if img == nil {
+		return 0, errors.New("quality: nil image")
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("quality: inverted band [%d,%d]", lo, hi)
+	}
+	out := 0
+	for _, p := range img.Pix {
+		if p < lo || p > hi {
+			out++
+		}
+	}
+	return 100 * float64(out) / float64(len(img.Pix)), nil
+}
+
+// ContrastFidelity returns the fraction (0..1) of pixels whose value is
+// preserved under an affine in-band transform with band [lo, hi]: the
+// contrast-fidelity measure of CBCS [5]. Pixels outside the band are
+// clamped and hence lose their contrast relationships.
+func ContrastFidelity(img *gray.Image, lo, hi uint8) (float64, error) {
+	sat, err := SaturatedPercent(img, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	return 1 - sat/100, nil
+}

@@ -1,0 +1,453 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hebs/internal/gray"
+	"hebs/internal/rng"
+)
+
+// noisy returns a deterministic pseudo-natural test image.
+func noisy(w, h int, seed uint64) *gray.Image {
+	m := gray.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := rng.FBM(float64(x)/17, float64(y)/17, 4, seed)
+			m.Set(x, y, uint8(v*255))
+		}
+	}
+	return m
+}
+
+func TestMSEIdentical(t *testing.T) {
+	m := noisy(32, 32, 1)
+	v, err := MSE(m, m)
+	if err != nil || v != 0 {
+		t.Errorf("MSE(self) = %v, %v", v, err)
+	}
+}
+
+func TestMSEKnown(t *testing.T) {
+	a := gray.New(2, 1)
+	b := gray.New(2, 1)
+	a.Pix = []uint8{0, 10}
+	b.Pix = []uint8{3, 14}
+	v, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != (9.0+16.0)/2 {
+		t.Errorf("MSE = %v, want 12.5", v)
+	}
+}
+
+func TestMSEShapeMismatch(t *testing.T) {
+	if _, err := MSE(gray.New(2, 2), gray.New(3, 2)); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if _, err := MSE(nil, gray.New(1, 1)); err == nil {
+		t.Error("nil image should error")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	m := noisy(16, 16, 2)
+	v, err := PSNR(m, m)
+	if err != nil || !math.IsInf(v, 1) {
+		t.Errorf("PSNR(self) = %v, %v; want +Inf", v, err)
+	}
+	o := m.Map(func(p uint8) uint8 {
+		if p < 250 {
+			return p + 5
+		}
+		return p
+	})
+	v, err = PSNR(m, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSE ~25 -> PSNR ~34 dB.
+	if v < 30 || v > 40 {
+		t.Errorf("PSNR of +5 shift = %v dB, want ~34", v)
+	}
+}
+
+func TestUQIIdentical(t *testing.T) {
+	m := noisy(64, 64, 3)
+	q, err := UQI(m, m, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-1) > 1e-9 {
+		t.Errorf("UQI(self) = %v, want 1", q)
+	}
+}
+
+func TestUQIRange(t *testing.T) {
+	a := noisy(64, 64, 4)
+	b := noisy(64, 64, 5)
+	q, err := UQI(a, b, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < -1-1e-9 || q > 1+1e-9 {
+		t.Errorf("UQI out of [-1,1]: %v", q)
+	}
+	if q > 0.9 {
+		t.Errorf("UQI of unrelated images = %v, want well below 1", q)
+	}
+}
+
+func TestUQISymmetry(t *testing.T) {
+	a := noisy(48, 48, 6)
+	b := noisy(48, 48, 7)
+	q1, _ := UQI(a, b, UQIOptions{})
+	q2, _ := UQI(b, a, UQIOptions{})
+	if math.Abs(q1-q2) > 1e-12 {
+		t.Errorf("UQI not symmetric: %v vs %v", q1, q2)
+	}
+}
+
+func TestUQIInvertedWorse(t *testing.T) {
+	a := noisy(64, 64, 8)
+	inv := a.Map(func(p uint8) uint8 { return 255 - p })
+	qInv, _ := UQI(a, inv, UQIOptions{})
+	shift := a.Map(func(p uint8) uint8 {
+		if p > 245 {
+			return 255
+		}
+		return p + 10
+	})
+	qShift, _ := UQI(a, shift, UQIOptions{})
+	if qInv >= qShift {
+		t.Errorf("inversion (%v) should score below small shift (%v)", qInv, qShift)
+	}
+	if qInv >= 0 {
+		t.Errorf("inversion should have negative structure: %v", qInv)
+	}
+}
+
+func TestUQIDegradesWithDistortion(t *testing.T) {
+	a := noisy(64, 64, 9)
+	prev := 1.0
+	for _, amp := range []int{4, 16, 48} {
+		b := a.Clone()
+		s := rng.New(uint64(amp))
+		for i := range b.Pix {
+			d := s.Intn(2*amp+1) - amp
+			v := int(b.Pix[i]) + d
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			b.Pix[i] = uint8(v)
+		}
+		q, err := UQI(a, b, UQIOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q >= prev {
+			t.Errorf("UQI did not decrease with noise amplitude %d: %v >= %v", amp, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestUQIFlatImages(t *testing.T) {
+	a := gray.New(16, 16)
+	b := gray.New(16, 16)
+	// Both all-black: identical -> 1.
+	q, err := UQI(a, b, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 1 {
+		t.Errorf("UQI(black, black) = %v, want 1", q)
+	}
+	// Flat gray vs flat brighter gray: luminance term only.
+	a.Fill(100)
+	b.Fill(200)
+	q, _ = UQI(a, b, UQIOptions{})
+	want := 2.0 * 100 * 200 / (100.0*100 + 200.0*200)
+	if math.Abs(q-want) > 1e-9 {
+		t.Errorf("UQI(flat100, flat200) = %v, want %v", q, want)
+	}
+}
+
+func TestUQITinyImageFallback(t *testing.T) {
+	a := gray.New(3, 3)
+	a.Fill(50)
+	q, err := UQI(a, a, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 1 {
+		t.Errorf("tiny image UQI(self) = %v, want 1", q)
+	}
+}
+
+func TestUQIBadOptions(t *testing.T) {
+	m := gray.New(16, 16)
+	if _, err := UQI(m, m, UQIOptions{Window: -1}); err == nil {
+		t.Error("negative window should error")
+	}
+	if _, err := UQI(m, m, UQIOptions{Step: -2}); err == nil {
+		t.Error("negative step should error")
+	}
+}
+
+func TestUQIBlockModeMatchesSlidingOnUniformStats(t *testing.T) {
+	// For a self-comparison both modes must give exactly 1.
+	m := noisy(64, 64, 10)
+	q1, _ := UQI(m, m, UQIOptions{Step: 1})
+	q2, _ := UQI(m, m, UQIOptions{Step: DefaultWindow})
+	if q1 != 1 || q2 != 1 {
+		t.Errorf("self UQI block/sliding = %v/%v, want 1/1", q2, q1)
+	}
+}
+
+func TestSSIMIdenticalAndRange(t *testing.T) {
+	m := noisy(64, 64, 11)
+	s, err := SSIM(m, m, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM(self) = %v, want 1", s)
+	}
+	b := noisy(64, 64, 12)
+	s, _ = SSIM(m, b, UQIOptions{})
+	if s < -1 || s > 1 {
+		t.Errorf("SSIM out of range: %v", s)
+	}
+}
+
+func TestSSIMMoreStableThanUQIOnFlats(t *testing.T) {
+	// SSIM's constants keep flat regions from blowing up; a tiny
+	// perturbation of a flat image should stay close to 1.
+	a := gray.New(32, 32)
+	a.Fill(128)
+	b := a.Clone()
+	b.Set(0, 0, 129)
+	s, err := SSIM(a, b, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.99 {
+		t.Errorf("SSIM of near-identical flats = %v, want ~1", s)
+	}
+}
+
+func TestSSIMShapeMismatch(t *testing.T) {
+	if _, err := SSIM(gray.New(8, 8), gray.New(9, 8), UQIOptions{}); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func TestDistortionPercent(t *testing.T) {
+	if d := DistortionPercent(1); d != 0 {
+		t.Errorf("D(1) = %v, want 0", d)
+	}
+	if d := DistortionPercent(0.9); math.Abs(d-10) > 1e-9 {
+		t.Errorf("D(0.9) = %v, want 10", d)
+	}
+	if d := DistortionPercent(-1); d != 200 {
+		t.Errorf("D(-1) = %v, want 200", d)
+	}
+	if d := DistortionPercent(1.5); d != 0 {
+		t.Errorf("D(1.5) = %v, want clamp 0", d)
+	}
+	if d := DistortionPercent(-2); d != 200 {
+		t.Errorf("D(-2) = %v, want clamp 200", d)
+	}
+}
+
+func TestUQIDistortion(t *testing.T) {
+	m := noisy(32, 32, 13)
+	d, err := UQIDistortion(m, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d) > 1e-6 {
+		t.Errorf("distortion(self) = %v, want 0", d)
+	}
+}
+
+func TestSaturatedPercent(t *testing.T) {
+	m := gray.New(10, 1)
+	for i := range m.Pix {
+		m.Pix[i] = uint8(i * 25) // 0,25,...,225
+	}
+	p, err := SaturatedPercent(m, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outside [50,200]: 0,25 and 225 -> 3 of 10.
+	if p != 30 {
+		t.Errorf("saturated%% = %v, want 30", p)
+	}
+	if _, err := SaturatedPercent(m, 200, 50); err == nil {
+		t.Error("inverted band should error")
+	}
+	if _, err := SaturatedPercent(nil, 0, 255); err == nil {
+		t.Error("nil image should error")
+	}
+}
+
+func TestSaturatedPercentFullBand(t *testing.T) {
+	m := noisy(16, 16, 14)
+	p, err := SaturatedPercent(m, 0, 255)
+	if err != nil || p != 0 {
+		t.Errorf("full band saturated%% = %v, %v; want 0", p, err)
+	}
+}
+
+func TestContrastFidelityComplement(t *testing.T) {
+	m := noisy(32, 32, 15)
+	f := func(lo, hi uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		sat, err1 := SaturatedPercent(m, lo, hi)
+		fid, err2 := ContrastFidelity(m, lo, hi)
+		return err1 == nil && err2 == nil && math.Abs(fid-(1-sat/100)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// uqiNaive recomputes UQI with direct per-window accumulation — the
+// reference the summed-area-table implementation must match exactly.
+func uqiNaive(a, b *gray.Image, win, step int) float64 {
+	total := 0.0
+	count := 0
+	for y := 0; y+win <= a.H; y += step {
+		for x := 0; x+win <= a.W; x += step {
+			var m windowMoments
+			for dy := 0; dy < win; dy++ {
+				row := (y + dy) * a.W
+				for dx := 0; dx < win; dx++ {
+					i := row + x + dx
+					m.add(float64(a.Pix[i]), float64(b.Pix[i]))
+				}
+			}
+			total += uqiWindow(&m)
+			count++
+		}
+	}
+	return total / float64(count)
+}
+
+func TestUQISATMatchesNaive(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		a := noisy(40, 33, seed*2+1)
+		b := noisy(40, 33, seed*2+2)
+		for _, cfg := range []UQIOptions{{Window: 8, Step: 1}, {Window: 8, Step: 8}, {Window: 5, Step: 3}, {Window: 1, Step: 1}} {
+			got, err := UQI(a, b, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uqiNaive(a, b, cfg.Window, cfg.Step)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("seed %d cfg %+v: SAT UQI %v != naive %v", seed, cfg, got, want)
+			}
+		}
+	}
+}
+
+func TestUQISATMatchesNaiveExtremes(t *testing.T) {
+	// All-white vs all-black: the largest possible sums, checking the
+	// integral tables don't overflow or lose precision.
+	a := gray.New(64, 64)
+	a.Fill(255)
+	b := gray.New(64, 64)
+	got, err := UQI(a, b, UQIOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uqiNaive(a, b, DefaultWindow, 1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("extreme SAT UQI %v != naive %v", got, want)
+	}
+}
+
+func TestSATMomentsProperty(t *testing.T) {
+	a := noisy(30, 20, 91)
+	b := noisy(30, 20, 92)
+	tables := newSAT(a, b)
+	f := func(xr, yr, wr uint8) bool {
+		win := int(wr)%10 + 1
+		if win > 20 {
+			return true
+		}
+		x := int(xr) % (30 - win + 1)
+		y := int(yr) % (20 - win + 1)
+		got := tables.moments(x, y, win)
+		var want windowMoments
+		for dy := 0; dy < win; dy++ {
+			for dx := 0; dx < win; dx++ {
+				i := (y+dy)*a.W + x + dx
+				want.add(float64(a.Pix[i]), float64(b.Pix[i]))
+			}
+		}
+		return got.n == want.n &&
+			got.sumX == want.sumX && got.sumY == want.sumY &&
+			got.sumXX == want.sumXX && got.sumYY == want.sumYY &&
+			got.sumXY == want.sumXY
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUQISlidingSAT(b *testing.B) {
+	x := noisy(128, 128, 1)
+	y := noisy(128, 128, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UQI(x, y, UQIOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUQISlidingNaive(b *testing.B) {
+	x := noisy(128, 128, 1)
+	y := noisy(128, 128, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uqiNaive(x, y, DefaultWindow, 1)
+	}
+}
+
+func TestUQIDistortionGrowsAsBandShrinks(t *testing.T) {
+	// Compressing an image into a narrower band then re-expanding loses
+	// levels; UQI distortion should grow monotonically with compression.
+	m := noisy(64, 64, 16)
+	prev := -1.0
+	for _, r := range []int{220, 150, 80} {
+		scale := float64(r) / 255
+		comp := m.Map(func(p uint8) uint8 { return uint8(float64(p) * scale) })
+		exp := comp.Map(func(p uint8) uint8 {
+			v := math.Round(float64(p) / scale)
+			if v > 255 {
+				v = 255
+			}
+			return uint8(v)
+		})
+		d, err := UQIDistortion(m, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d < prev {
+			t.Errorf("distortion at range %d = %v, want >= %v", r, d, prev)
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,135 @@
+// Package rng implements a small, deterministic pseudo-random number
+// generator (splitmix64-seeded xoshiro256**) plus the value-noise and
+// fractional-Brownian-motion helpers the synthetic benchmark image
+// generator is built on.
+//
+// Determinism matters here: the synthetic USC-SIPI stand-in suite must
+// produce bit-identical images on every run and platform so that the
+// distortion characteristic curve, Table 1 and Figure 7/8 reproductions
+// are stable. math/rand's generator is also deterministic for a fixed
+// seed, but pinning our own keeps the image suite independent of any
+// future stdlib algorithm change.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** PRNG. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from a single 64-bit seed via splitmix64,
+// following the reference initialization recommended by the xoshiro
+// authors.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range src.s {
+		src.s[i] = next()
+	}
+	// Guard against the all-zero state, which is a fixed point.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Norm returns a normally distributed value with mean 0 and standard
+// deviation 1, using the Box-Muller transform.
+func (s *Source) Norm() float64 {
+	// Avoid log(0).
+	u1 := 1 - s.Float64()
+	u2 := s.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// hash2 produces a deterministic pseudo-random value in [0,1) from
+// integer lattice coordinates and a seed. Used by value noise so that
+// noise at a lattice point does not depend on evaluation order.
+func hash2(x, y int, seed uint64) float64 {
+	h := seed
+	h ^= uint64(uint32(x)) * 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h ^= uint64(uint32(y)) * 0x94d049bb133111eb
+	h = (h ^ (h >> 27)) * 0x2545f4914f6cdd1d
+	h ^= h >> 31
+	return float64(h>>11) / (1 << 53)
+}
+
+// smooth is the quintic fade curve 6t^5-15t^4+10t^3 used by Perlin-style
+// noise for C2-continuous interpolation.
+func smooth(t float64) float64 { return t * t * t * (t*(t*6-15) + 10) }
+
+// ValueNoise evaluates 2-D value noise at (x, y) for the given seed.
+// The result lies in [0, 1) and is C2-continuous in both arguments.
+func ValueNoise(x, y float64, seed uint64) float64 {
+	x0 := int(math.Floor(x))
+	y0 := int(math.Floor(y))
+	fx := x - float64(x0)
+	fy := y - float64(y0)
+	v00 := hash2(x0, y0, seed)
+	v10 := hash2(x0+1, y0, seed)
+	v01 := hash2(x0, y0+1, seed)
+	v11 := hash2(x0+1, y0+1, seed)
+	sx := smooth(fx)
+	sy := smooth(fy)
+	top := v00 + (v10-v00)*sx
+	bot := v01 + (v11-v01)*sx
+	return top + (bot-top)*sy
+}
+
+// FBM sums octaves of value noise (fractional Brownian motion). Each
+// octave doubles the frequency and halves the amplitude (gain 0.5,
+// lacunarity 2). The result is renormalized to [0, 1).
+func FBM(x, y float64, octaves int, seed uint64) float64 {
+	if octaves < 1 {
+		octaves = 1
+	}
+	sum := 0.0
+	amp := 1.0
+	norm := 0.0
+	freq := 1.0
+	for i := 0; i < octaves; i++ {
+		sum += amp * ValueNoise(x*freq, y*freq, seed+uint64(i)*0x9e3779b9)
+		norm += amp
+		amp *= 0.5
+		freq *= 2
+	}
+	return sum / norm
+}

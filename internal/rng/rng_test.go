@@ -1,0 +1,177 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("zero-seeded source produced only %d distinct values", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Uniformity(t *testing.T) {
+	s := New(99)
+	const n = 100000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[int(s.Float64()*10)]++
+	}
+	for i, b := range buckets {
+		frac := float64(b) / n
+		if frac < 0.08 || frac > 0.12 {
+			t.Errorf("bucket %d has fraction %v, want ~0.1", i, frac)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) out of range: %d", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ~1", variance)
+	}
+}
+
+func TestValueNoiseRangeAndDeterminism(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * 0.73
+		v := ValueNoise(x, y, 11)
+		if v < 0 || v >= 1 {
+			t.Fatalf("ValueNoise out of range: %v", v)
+		}
+		if v != ValueNoise(x, y, 11) {
+			t.Fatal("ValueNoise not deterministic")
+		}
+	}
+}
+
+func TestValueNoiseContinuity(t *testing.T) {
+	// Sampling two very close points must give very close values.
+	const eps = 1e-4
+	for i := 0; i < 100; i++ {
+		x := float64(i)*0.31 + 0.123
+		y := float64(i)*0.17 + 0.456
+		a := ValueNoise(x, y, 3)
+		b := ValueNoise(x+eps, y+eps, 3)
+		if math.Abs(a-b) > 0.01 {
+			t.Fatalf("discontinuity at (%v,%v): |%v-%v|", x, y, a, b)
+		}
+	}
+}
+
+func TestValueNoiseLatticeSeamless(t *testing.T) {
+	// Approaching an integer lattice coordinate from both sides must agree.
+	for i := -3; i <= 3; i++ {
+		x := float64(i)
+		below := ValueNoise(x-1e-9, 0.5, 9)
+		above := ValueNoise(x+1e-9, 0.5, 9)
+		if math.Abs(below-above) > 1e-6 {
+			t.Fatalf("seam at x=%v: %v vs %v", x, below, above)
+		}
+	}
+}
+
+func TestFBMRange(t *testing.T) {
+	f := func(xi, yi int16) bool {
+		x := float64(xi) / 100
+		y := float64(yi) / 100
+		v := FBM(x, y, 5, 21)
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFBMOctaveClamp(t *testing.T) {
+	// octaves < 1 behaves as a single octave rather than NaN/panic.
+	v := FBM(0.5, 0.5, 0, 21)
+	if math.IsNaN(v) || v < 0 || v >= 1 {
+		t.Errorf("FBM with 0 octaves = %v", v)
+	}
+	if v != FBM(0.5, 0.5, 1, 21) {
+		t.Error("FBM(octaves=0) should equal FBM(octaves=1)")
+	}
+}
+
+func TestSmoothEndpoints(t *testing.T) {
+	if smooth(0) != 0 || smooth(1) != 1 {
+		t.Error("fade curve must fix 0 and 1")
+	}
+	if s := smooth(0.5); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("smooth(0.5) = %v, want 0.5", s)
+	}
+}

@@ -1,0 +1,189 @@
+// Public parametric generators. Beyond the fixed 19-image Table 1
+// suite, users building their own workloads (different screen content,
+// ablation sweeps, stress inputs) can synthesize scenes with chosen
+// statistics. Each generator validates its parameters and is a pure
+// function of (spec, size, seed).
+package sipi
+
+import (
+	"fmt"
+	"math"
+
+	"hebs/internal/gray"
+)
+
+func checkSize(w, h int) error {
+	if w <= 0 || h <= 0 {
+		return fmt.Errorf("sipi: bad size %dx%d", w, h)
+	}
+	return nil
+}
+
+func checkFrac(name string, v float64) error {
+	if math.IsNaN(v) || v < 0 || v > 1 {
+		return fmt.Errorf("sipi: %s %v outside [0,1]", name, v)
+	}
+	return nil
+}
+
+// PortraitSpec parameterizes a smooth face-like scene.
+type PortraitSpec struct {
+	// Mean is the overall brightness in [0,1].
+	Mean float64
+	// Spread is the histogram width in [0,1].
+	Spread float64
+	// Grain is the fine-texture amplitude in [0,1].
+	Grain float64
+	// Seed selects the noise realization.
+	Seed uint64
+}
+
+// Portrait synthesizes a portrait scene.
+func Portrait(w, h int, spec PortraitSpec) (*gray.Image, error) {
+	if err := checkSize(w, h); err != nil {
+		return nil, err
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"mean", spec.Mean}, {"spread", spec.Spread}, {"grain", spec.Grain}} {
+		if err := checkFrac(p.name, p.v); err != nil {
+			return nil, err
+		}
+	}
+	return genPortrait(spec.Mean, spec.Spread, spec.Grain)(w, h, spec.Seed), nil
+}
+
+// LandscapeSpec parameterizes a horizon scene.
+type LandscapeSpec struct {
+	// SkyLevel and GroundLevel are the band brightnesses in [0,1].
+	SkyLevel, GroundLevel float64
+	// Octaves controls the ground texture richness (1..10).
+	Octaves int
+	// Seed selects the noise realization.
+	Seed uint64
+}
+
+// Landscape synthesizes a sky-over-textured-ground scene.
+func Landscape(w, h int, spec LandscapeSpec) (*gray.Image, error) {
+	if err := checkSize(w, h); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("sky level", spec.SkyLevel); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("ground level", spec.GroundLevel); err != nil {
+		return nil, err
+	}
+	if spec.Octaves < 1 || spec.Octaves > 10 {
+		return nil, fmt.Errorf("sipi: octaves %d outside [1,10]", spec.Octaves)
+	}
+	return genLandscape(spec.SkyLevel, spec.GroundLevel, spec.Octaves)(w, h, spec.Seed), nil
+}
+
+// BlobsSpec parameterizes a scene of smooth overlapping blobs.
+type BlobsSpec struct {
+	// Count is the number of blobs (>= 1).
+	Count int
+	// Lo, Hi bound the blob brightness in [0,1], Lo < Hi.
+	Lo, Hi float64
+	// Grain is the fine-texture amplitude in [0,1].
+	Grain float64
+	// Seed selects blob placement.
+	Seed uint64
+}
+
+// Blobs synthesizes a blob scene (peppers/pears-like content).
+func Blobs(w, h int, spec BlobsSpec) (*gray.Image, error) {
+	if err := checkSize(w, h); err != nil {
+		return nil, err
+	}
+	if spec.Count < 1 {
+		return nil, fmt.Errorf("sipi: blob count %d < 1", spec.Count)
+	}
+	if err := checkFrac("lo", spec.Lo); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("hi", spec.Hi); err != nil {
+		return nil, err
+	}
+	if spec.Lo >= spec.Hi {
+		return nil, fmt.Errorf("sipi: blob range [%v,%v] inverted", spec.Lo, spec.Hi)
+	}
+	if err := checkFrac("grain", spec.Grain); err != nil {
+		return nil, err
+	}
+	return genBlobs(spec.Count, spec.Lo, spec.Hi, spec.Grain)(w, h, spec.Seed), nil
+}
+
+// TextureSpec parameterizes pure multi-octave texture.
+type TextureSpec struct {
+	// Octaves controls the frequency content (1..10).
+	Octaves int
+	// Lo, Hi bound the output range in [0,1], Lo < Hi.
+	Lo, Hi float64
+	// Seed selects the realization.
+	Seed uint64
+}
+
+// Texture synthesizes broadband texture (baboon-fur-like content).
+func Texture(w, h int, spec TextureSpec) (*gray.Image, error) {
+	if err := checkSize(w, h); err != nil {
+		return nil, err
+	}
+	if spec.Octaves < 1 || spec.Octaves > 10 {
+		return nil, fmt.Errorf("sipi: octaves %d outside [1,10]", spec.Octaves)
+	}
+	if err := checkFrac("lo", spec.Lo); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("hi", spec.Hi); err != nil {
+		return nil, err
+	}
+	if spec.Lo >= spec.Hi {
+		return nil, fmt.Errorf("sipi: texture range [%v,%v] inverted", spec.Lo, spec.Hi)
+	}
+	return genTexture(spec.Octaves, spec.Lo, spec.Hi)(w, h, spec.Seed), nil
+}
+
+// Gradient synthesizes a pure linear luminance ramp between two levels
+// at the given angle (radians, 0 = left-to-right) — the canonical
+// banding stress input for range-reduction experiments.
+func Gradient(w, h int, from, to float64, angle float64, grain float64, seed uint64) (*gray.Image, error) {
+	if err := checkSize(w, h); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("from", from); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("to", to); err != nil {
+		return nil, err
+	}
+	if err := checkFrac("grain", grain); err != nil {
+		return nil, err
+	}
+	m := gray.New(w, h)
+	cos, sin := math.Cos(angle), math.Sin(angle)
+	// Project every pixel onto the gradient axis, normalized to [0,1].
+	minP, maxP := math.Inf(1), math.Inf(-1)
+	for _, corner := range [][2]float64{{0, 0}, {float64(w - 1), 0}, {0, float64(h - 1)}, {float64(w - 1), float64(h - 1)}} {
+		p := corner[0]*cos + corner[1]*sin
+		minP = math.Min(minP, p)
+		maxP = math.Max(maxP, p)
+	}
+	span := maxP - minP
+	if span == 0 {
+		span = 1
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			t := (float64(x)*cos + float64(y)*sin - minP) / span
+			v := from + (to-from)*t
+			put(m, x, y, v)
+		}
+	}
+	if grain > 0 {
+		addGrain(m, seed^0x9e3779b97f4a7c15, grain*255)
+	}
+	return m, nil
+}

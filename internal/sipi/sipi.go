@@ -1,0 +1,543 @@
+// Package sipi generates the deterministic synthetic benchmark suite
+// that stands in for the USC-SIPI image database (ref. [16] of the
+// paper). The 19 images named in Table 1 are synthesized with the
+// statistical signatures of their originals — smooth portraits,
+// high-frequency texture (baboon), low-contrast scenes (pout),
+// bimodal skies (sail), geometric test patterns (testpat) — because
+// HEBS and its baselines consume only pixel statistics: histograms and
+// local mean/variance structure. Every generator is a pure function of
+// (name, size), so the whole evaluation pipeline is reproducible
+// bit-for-bit.
+package sipi
+
+import (
+	"fmt"
+	"math"
+
+	"hebs/internal/gray"
+	"hebs/internal/rng"
+)
+
+// DefaultSize is the edge length used by the benchmark harness. The
+// originals are 256×256 or 512×512; 128 preserves the window statistics
+// UQI sees while keeping the full Table 1 sweep fast.
+const DefaultSize = 128
+
+// names lists the Table 1 rows in the paper's order.
+var names = []string{
+	"lena", "autumn", "football", "peppers", "greens", "pears",
+	"onion", "trees", "west", "pout", "sail", "splash", "girl",
+	"baboon", "treea", "housea", "girlb", "testpat", "elaine",
+}
+
+// Names returns the 19 benchmark image names in Table 1 order.
+func Names() []string { return append([]string(nil), names...) }
+
+// seedOf derives a stable per-image seed from the name.
+func seedOf(name string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// grainSigma is the film-grain standard deviation (in 8-bit levels)
+// added to every generated image. The USC-SIPI originals are film
+// scans and carry comparable grain; it keeps perfectly clean synthetic
+// gradients from being pathologically sensitive to level merging.
+const grainSigma = 0.55
+
+// Generate synthesizes the named benchmark image at the given size.
+func Generate(name string, w, h int) (*gray.Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("sipi: bad size %dx%d", w, h)
+	}
+	gen, ok := generators[name]
+	if !ok {
+		return nil, fmt.Errorf("sipi: unknown benchmark image %q", name)
+	}
+	img := gen(w, h, seedOf(name))
+	addGrain(img, seedOf(name)^0x5bd1e995, grainSigma)
+	return img, nil
+}
+
+// addGrain overlays zero-mean Gaussian film grain of the given sigma.
+func addGrain(m *gray.Image, seed uint64, sigma float64) {
+	s := rng.New(seed)
+	for i := range m.Pix {
+		v := float64(m.Pix[i]) + sigma*s.Norm()
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		m.Pix[i] = uint8(v + 0.5)
+	}
+}
+
+// NamedImage pairs a benchmark image with its Table 1 name.
+type NamedImage struct {
+	Name  string
+	Image *gray.Image
+}
+
+// Suite generates all 19 benchmark images at the given size, in Table 1
+// order.
+func Suite(w, h int) ([]NamedImage, error) {
+	out := make([]NamedImage, 0, len(names))
+	for _, n := range names {
+		img, err := Generate(n, w, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NamedImage{Name: n, Image: img})
+	}
+	return out, nil
+}
+
+type genFunc func(w, h int, seed uint64) *gray.Image
+
+var generators = map[string]genFunc{
+	"lena":     genPortrait(0.50, 0.22, 0.020),
+	"autumn":   genLandscape(0.55, 0.30, 5),
+	"football": genObjectScene(0.35, 0.85, 0.08),
+	"peppers":  genBlobs(7, 0.15, 0.85, 0.015),
+	"greens":   genBlobs(6, 0.30, 0.75, 0.015),
+	"pears":    genBlobs(4, 0.35, 0.90, 0.015),
+	"onion":    genRings(0.35, 0.72),
+	"trees":    genLandscape(0.70, 0.25, 6),
+	"west":     genSkyline(0.75, 0.25),
+	"pout":     genPortrait(0.45, 0.10, 0.010), // famously low contrast
+	"sail":     genBimodal(0.20, 0.85, 0.45),
+	"splash":   genSplash(0.10, 0.90),
+	"girl":     genPortrait(0.55, 0.20, 0.020),
+	"baboon":   genBaboon(), // broadband texture + smooth muzzle
+	"treea":    genSilhouette(0.15, 0.80),
+	"housea":   genGeometric(5),
+	"girlb":    genPortrait(0.35, 0.18, 0.018),
+	"testpat":  genTestPattern(),
+	"elaine":   genPortrait(0.50, 0.28, 0.025),
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func put(m *gray.Image, x, y int, v float64) {
+	m.Set(x, y, uint8(math.Round(clamp01(v)*255)))
+}
+
+// genPortrait produces a smooth face-like scene: a bright elliptical
+// region on a graded background with gentle texture. mean sets the
+// overall brightness, spread the histogram width, grain the fine
+// texture amplitude.
+func genPortrait(mean, spread, grain float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		cx, cy := float64(w)*0.5, float64(h)*0.42
+		rx, ry := float64(w)*0.28, float64(h)*0.34
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				// Background: soft vertical gradient plus slow noise.
+				bg := mean - spread*0.8 + 0.25*spread*fy/float64(h) +
+					0.3*spread*rng.FBM(fx/float64(w)*2, fy/float64(h)*2, 2, seed)
+				// Face: elliptical falloff lobe, brighter than background.
+				dx := (fx - cx) / rx
+				dy := (fy - cy) / ry
+				d2 := dx*dx + dy*dy
+				face := math.Exp(-d2*1.8) * spread * 1.6
+				// Shoulders: second lobe below.
+				sy := (fy - float64(h)*0.95) / (float64(h) * 0.35)
+				sx := (fx - cx) / (float64(w) * 0.45)
+				shoulders := math.Exp(-(sx*sx+sy*sy)*2.0) * spread * 0.9
+				v := bg + face + shoulders +
+					grain*(rng.FBM(fx/4, fy/4, 4, seed+1)-0.5)
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genLandscape produces a horizon scene with a bright sky band and a
+// textured ground, mid-to-broad histogram.
+func genLandscape(skyLevel, groundLevel float64, octaves int) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		horizon := float64(h) * (0.35 + 0.1*rng.ValueNoise(0.5, 0.5, seed))
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				wobble := 8 * (rng.FBM(fx/float64(w)*4, 0.3, 3, seed+2) - 0.5) * float64(h) / 64
+				var v float64
+				if fy < horizon+wobble {
+					// Sky: bright with slow gradient.
+					v = skyLevel + 0.25*(1-fy/horizon) +
+						0.03*(rng.FBM(fx/float64(w)*2, fy/float64(h)*2, 2, seed+3)-0.5)
+				} else {
+					// Ground: darker, strongly textured.
+					v = groundLevel + 0.13*(rng.FBM(fx/16, fy/16, octaves, seed+4)-0.5)
+				}
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genObjectScene places a bright elliptical object on a textured field.
+func genObjectScene(fieldLevel, objectLevel, texAmp float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		cx, cy := float64(w)*0.55, float64(h)*0.5
+		rx, ry := float64(w)*0.22, float64(h)*0.14
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				v := fieldLevel + texAmp*(rng.FBM(fx/14, fy/14, 3, seed)-0.5)
+				dx := (fx - cx) / rx
+				dy := (fy - cy) / ry
+				d2 := dx*dx + dy*dy
+				if d2 < 1 {
+					lace := 0.15 * math.Sin(fx*0.9) * math.Sin(fy*0.9)
+					v = objectLevel - 0.25*d2 + lace
+				}
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genBlobs scatters n smooth overlapping blobs of varying brightness
+// between lo and hi on a dark background.
+func genBlobs(n int, lo, hi, grain float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		s := rng.New(seed)
+		type blob struct{ cx, cy, r, level float64 }
+		blobs := make([]blob, n)
+		for i := range blobs {
+			blobs[i] = blob{
+				cx:    s.Float64() * float64(w),
+				cy:    s.Float64() * float64(h),
+				r:     (0.15 + 0.2*s.Float64()) * float64(w),
+				level: lo + (hi-lo)*s.Float64(),
+			}
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				v := lo * 0.6
+				for _, b := range blobs {
+					dx, dy := fx-b.cx, fy-b.cy
+					d2 := (dx*dx + dy*dy) / (b.r * b.r)
+					if d2 < 1 {
+						shade := b.level * (1 - 0.4*d2)
+						if shade > v {
+							v = shade
+						}
+					}
+				}
+				v += grain * (rng.FBM(fx/5, fy/5, 3, seed+9) - 0.5)
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genTexture is pure multi-octave fBm texture scaled onto [lo, hi];
+// high octave counts give baboon-like broadband content.
+func genTexture(octaves int, lo, hi float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				t := rng.FBM(float64(x)/11, float64(y)/11, octaves, seed)
+				// Mild S-curve to widen the histogram tails.
+				t = clamp01(0.5 + (t-0.5)*1.6)
+				put(m, x, y, lo+(hi-lo)*t)
+			}
+		}
+		return m
+	}
+}
+
+// genBaboon mixes broadband multi-octave texture (the fur) with a
+// smooth bright muzzle lobe, matching the statistical split of the
+// original baboon image: mostly high-frequency content with a sizeable
+// smooth region.
+func genBaboon() genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		cx, cy := float64(w)*0.5, float64(h)*0.58
+		rx, ry := float64(w)*0.30, float64(h)*0.36
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				t := rng.FBM(fx/9, fy/9, 8, seed)
+				t = clamp01(0.5 + (t-0.5)*1.7)
+				fur := 0.05 + 0.90*t
+				dx := (fx - cx) / rx
+				dy := (fy - cy) / ry
+				d2 := dx*dx + dy*dy
+				// Smooth muzzle: gentle vertical gradient, no texture.
+				// Hard plateau for d2 < 0.55 so the smooth region has
+				// real area (~20% of the frame), then a quick blend.
+				muzzle := 0.60 + 0.18*(fy-cy)/float64(h)
+				wgt := clamp01((1 - d2) / 0.45)
+				put(m, x, y, fur*(1-wgt)+muzzle*wgt)
+			}
+		}
+		return m
+	}
+}
+
+// genRings draws concentric rings (onion cross-section) between lo and hi.
+func genRings(lo, hi float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		cx, cy := float64(w)*0.5, float64(h)*0.55
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				d := math.Hypot(fx-cx, fy-cy) / float64(w)
+				ring := 0.5 + 0.5*math.Cos(d*5+2*rng.ValueNoise(fx/40, fy/40, seed))
+				fall := clamp01(1.3 - 1.6*d)
+				v := lo + (hi-lo)*ring*fall
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genSkyline produces a bright-sky/dark-structures scene (west.tif is a
+// mission building against sky).
+func genSkyline(skyLevel, buildingLevel float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		s := rng.New(seed)
+		// Random building skyline heights per column block.
+		blocks := 8
+		heights := make([]float64, blocks)
+		for i := range heights {
+			heights[i] = (0.35 + 0.4*s.Float64()) * float64(h)
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				hIdx := x * blocks / w
+				roof := float64(h) - heights[hIdx]
+				var v float64
+				if fy < roof {
+					v = skyLevel + 0.2*(1-fy/float64(h)) +
+						0.02*(rng.FBM(fx/26, fy/26, 2, seed+1)-0.5)
+				} else {
+					// Building face with window texture.
+					win := 0.12 * math.Sin(fx*0.8) * math.Sin(fy*0.8)
+					v = buildingLevel + win +
+						0.04*(rng.FBM(fx/10, fy/10, 2, seed+2)-0.5)
+				}
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genBimodal produces a two-band scene (sailboat: bright sky + dark
+// water) split at the given horizon fraction.
+func genBimodal(darkLevel, brightLevel, split float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		horizon := split * float64(h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				var v float64
+				if fy < horizon {
+					v = brightLevel + 0.04*(rng.FBM(fx/30, fy/30, 2, seed)-0.5)
+				} else {
+					glint := 0.08 * rng.FBM(fx/5, fy/14, 3, seed+1)
+					v = darkLevel + glint
+				}
+				// A triangular sail straddling the horizon.
+				sx := fx / float64(w)
+				sy := fy / float64(h)
+				if sy > 0.2 && sy < 0.55 && math.Abs(sx-0.5) < (0.55-sy)*0.4 {
+					v = 0.95
+				}
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genSplash produces a mostly dark scene with a bright central crown
+// (splash.tif: milk drop).
+func genSplash(darkLevel, brightLevel float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		cx, cy := float64(w)*0.5, float64(h)*0.6
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				d := math.Hypot(fx-cx, fy-cy) / (0.27 * float64(w))
+				v := darkLevel + 0.25*fy/float64(h) + 0.02*rng.FBM(fx/26, fy/26, 2, seed)
+				// Bright crown ring with spiky noise.
+				ring := math.Exp(-(d - 1) * (d - 1) * 12)
+				spikes := 0.5 + 0.5*math.Sin(math.Atan2(fy-cy, fx-cx)*14)
+				v += (brightLevel - darkLevel) * ring * (0.55 + 0.45*spikes)
+				// Bright core.
+				v += (brightLevel - darkLevel) * math.Exp(-d*d*6) * 0.5
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genSilhouette produces a dark tree silhouette against a bright sky.
+func genSilhouette(darkLevel, brightLevel float64) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		cx := float64(w) * 0.5
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx, fy := float64(x), float64(y)
+				sky := brightLevel - 0.25*fy/float64(h) +
+					0.02*(rng.FBM(fx/36, fy/36, 2, seed)-0.5)
+				v := sky
+				// Canopy: noisy disc in the upper middle.
+				dx := (fx - cx) / (0.38 * float64(w))
+				dy := (fy - float64(h)*0.35) / (0.3 * float64(h))
+				canopy := dx*dx + dy*dy + 0.6*(rng.FBM(fx/8, fy/8, 4, seed+1)-0.5)
+				if canopy < 1 {
+					v = darkLevel + 0.04*rng.FBM(fx/7, fy/7, 2, seed+2)
+				}
+				// Trunk.
+				if math.Abs(fx-cx) < float64(w)*0.03 && fy > float64(h)*0.35 {
+					v = darkLevel
+				}
+				// Ground.
+				if fy > float64(h)*0.9 {
+					v = darkLevel + 0.1
+				}
+				put(m, x, y, v)
+			}
+		}
+		return m
+	}
+}
+
+// genGeometric produces flat-shaded rectangles and triangles (house
+// scene): large constant regions with crisp edges.
+func genGeometric(n int) genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		// Sky backdrop.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				put(m, x, y, 0.75-0.1*float64(y)/float64(h))
+			}
+		}
+		s := rng.New(seed)
+		// House body.
+		bx0, by0 := w/5, h/2
+		bx1, by1 := 4*w/5, 9*h/10
+		for y := by0; y < by1; y++ {
+			for x := bx0; x < bx1; x++ {
+				put(m, x, y, 0.55)
+			}
+		}
+		// Roof triangle.
+		apexX, apexY := w/2, h/5
+		for y := apexY; y < by0; y++ {
+			t := float64(y-apexY) / float64(by0-apexY)
+			x0 := int(float64(apexX) - t*float64(apexX-bx0))
+			x1 := int(float64(apexX) + t*float64(bx1-apexX))
+			for x := x0; x < x1; x++ {
+				put(m, x, y, 0.30)
+			}
+		}
+		// Windows and door: n dark flat patches. Skip on canvases too
+		// small to hold a patch inside the house body.
+		ww := w / 10
+		wh := h / 8
+		if ww < 1 || wh < 1 || bx1-bx0-ww <= 0 || by1-by0-wh <= 0 {
+			return m
+		}
+		for i := 0; i < n; i++ {
+			x0 := bx0 + s.Intn(bx1-bx0-ww)
+			y0 := by0 + s.Intn(by1-by0-wh)
+			level := 0.12 + 0.1*s.Float64()
+			for y := y0; y < y0+wh; y++ {
+				for x := x0; x < x0+ww; x++ {
+					put(m, x, y, level)
+				}
+			}
+		}
+		return m
+	}
+}
+
+// genTestPattern produces the classic test chart: a horizontal ramp,
+// vertical bars at several frequencies, a checkerboard and flat
+// calibration patches — covering the full [0,255] range exactly.
+func genTestPattern() genFunc {
+	return func(w, h int, seed uint64) *gray.Image {
+		m := gray.New(w, h)
+		q := h / 4
+		if q == 0 {
+			q = 1
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx := float64(x) / float64(w-1+min1(w))
+				var v float64
+				switch band := y / q; band {
+				case 0: // full ramp
+					v = fx
+				case 1: // frequency bars, coarse to fine
+					freq := 4.0 + 28.0*fx
+					if math.Sin(fx*freq*math.Pi*2) > 0 {
+						v = 1
+					}
+				case 2: // checkerboard
+					if ((x/8)+(y/8))%2 == 0 {
+						v = 0.85
+					} else {
+						v = 0.15
+					}
+				default: // flat calibration patches
+					v = float64((x*8)/w%8) / 7
+				}
+				put(m, x, y, v)
+			}
+		}
+		// Pin exact black and white for full dynamic range.
+		m.Set(0, 0, 0)
+		m.Set(w-1, 0, 255)
+		return m
+	}
+}
+
+func min1(w int) int {
+	if w <= 1 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,97 @@
+// Error-diffusion dithering. When the contrast compensation spreads R
+// levels over the full swing, the displayed image has gaps between
+// adjacent codes — banding. Real LCD timing controllers hide this with
+// frame-rate control / spatial dithering; the equivalent here is
+// Floyd–Steinberg error diffusion applied to the *exact* fractional
+// transform, so the quantization residual becomes unstructured noise
+// instead of contours.
+package transform
+
+import (
+	"errors"
+	"math"
+
+	"hebs/internal/gray"
+)
+
+// ApplyErrorDiffusion transforms src through the exact (fractional)
+// per-level curve and quantizes with Floyd–Steinberg error diffusion:
+// each pixel's rounding residual is distributed onto its right and
+// lower neighbours (7/16, 3/16, 5/16, 1/16). The curve must be
+// non-decreasing with values in [0, 255].
+func ApplyErrorDiffusion(src *gray.Image, curve *[Levels]float64) (*gray.Image, error) {
+	if src == nil {
+		return nil, errors.New("transform: nil image")
+	}
+	if curve == nil {
+		return nil, errors.New("transform: nil curve")
+	}
+	prev := math.Inf(-1)
+	for v := 0; v < Levels; v++ {
+		y := curve[v]
+		if math.IsNaN(y) || y < 0 || y > Levels-1 {
+			return nil, errors.New("transform: curve value out of [0,255]")
+		}
+		if y < prev {
+			return nil, errors.New("transform: curve not monotone")
+		}
+		prev = y
+	}
+	w, h := src.W, src.H
+	out := gray.New(w, h)
+	// Residual rows: current and next.
+	cur := make([]float64, w)
+	next := make([]float64, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			target := curve[src.Pix[y*w+x]] + cur[x]
+			q := math.Round(target)
+			if q < 0 {
+				q = 0
+			}
+			if q > Levels-1 {
+				q = Levels - 1
+			}
+			out.Pix[y*w+x] = uint8(q)
+			e := target - q
+			if x+1 < w {
+				cur[x+1] += e * 7 / 16
+				next[x+1] += e * 1 / 16
+			}
+			if x > 0 {
+				next[x-1] += e * 3 / 16
+			}
+			next[x] += e * 5 / 16
+		}
+		cur, next = next, cur
+		for i := range next {
+			next[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// CompensatedCurve returns the exact fractional displayed-luminance
+// curve of a HEBS solution: the un-coarsened Φ spread by the backlight
+// compensation 1/β and clamped at white. Feeding it to
+// ApplyErrorDiffusion yields the dithered preview.
+func CompensatedCurve(exact *[Levels]float64, beta float64) (*[Levels]float64, error) {
+	if exact == nil {
+		return nil, errors.New("transform: nil exact curve")
+	}
+	if !(beta > 0 && beta <= 1) {
+		return nil, errors.New("transform: backlight factor outside (0,1]")
+	}
+	var out [Levels]float64
+	for v := 0; v < Levels; v++ {
+		y := exact[v] / beta
+		if y > Levels-1 {
+			y = Levels - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		out[v] = y
+	}
+	return &out, nil
+}

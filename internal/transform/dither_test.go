@@ -1,0 +1,182 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"hebs/internal/gray"
+)
+
+// halfCurve maps v -> v/2.5 exactly (fractional outputs).
+func halfCurve() *[Levels]float64 {
+	var c [Levels]float64
+	for v := 0; v < Levels; v++ {
+		c[v] = float64(v) / 2.5
+	}
+	return &c
+}
+
+func TestDitherValidation(t *testing.T) {
+	img := gray.New(4, 4)
+	if _, err := ApplyErrorDiffusion(nil, halfCurve()); err == nil {
+		t.Error("nil image should error")
+	}
+	if _, err := ApplyErrorDiffusion(img, nil); err == nil {
+		t.Error("nil curve should error")
+	}
+	var bad [Levels]float64
+	bad[10] = 300
+	if _, err := ApplyErrorDiffusion(img, &bad); err == nil {
+		t.Error("out-of-range curve should error")
+	}
+	var dec [Levels]float64
+	dec[0] = 5 // then zeros: decreasing
+	if _, err := ApplyErrorDiffusion(img, &dec); err == nil {
+		t.Error("non-monotone curve should error")
+	}
+}
+
+func TestDitherPreservesLocalMean(t *testing.T) {
+	// A constant input through a fractional curve: the plain LUT rounds
+	// every pixel the same way (bias up to 0.5), while dithering keeps
+	// the mean within a hair of the exact value.
+	img := gray.New(64, 64)
+	img.Fill(101) // 101/2.5 = 40.4
+	out, err := ApplyErrorDiffusion(img, halfCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, p := range out.Pix {
+		sum += float64(p)
+	}
+	mean := sum / float64(len(out.Pix))
+	if math.Abs(mean-40.4) > 0.05 {
+		t.Errorf("dithered mean = %v, want ~40.4", mean)
+	}
+	// The output uses both neighbouring codes, not just one.
+	var seen40, seen41 bool
+	for _, p := range out.Pix {
+		if p == 40 {
+			seen40 = true
+		}
+		if p == 41 {
+			seen41 = true
+		}
+		if p != 40 && p != 41 {
+			t.Fatalf("unexpected code %d", p)
+		}
+	}
+	if !seen40 || !seen41 {
+		t.Error("dither did not alternate between adjacent codes")
+	}
+}
+
+func TestDitherBreaksBanding(t *testing.T) {
+	// A gentle gradient through a heavily-expanding curve (simulating
+	// the compensation at low R): the plain LUT produces banded output
+	// with few distinct levels per region; the dithered output's local
+	// means track the exact curve much more closely.
+	img := gray.New(128, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 128; x++ {
+			img.Set(x, y, uint8(60+x/4))
+		}
+	}
+	// Expansion curve: floor to a coarse grid of ~13-level steps, like
+	// spreading R=20 over the full swing.
+	var curve [Levels]float64
+	for v := 0; v < Levels; v++ {
+		curve[v] = math.Min(255, float64(v/20)*20*1.27)
+	}
+	dithered, err := ApplyErrorDiffusion(img, &curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain LUT application of the same curve.
+	var lut LUT
+	for v := 0; v < Levels; v++ {
+		lut[v] = uint8(math.Round(curve[v]))
+	}
+	plain := lut.Apply(img)
+
+	// Compare column-averaged luminance against the exact curve.
+	exactErr, ditherErr, plainErr := 0.0, 0.0, 0.0
+	for x := 0; x < 128; x++ {
+		var want, gotD, gotP float64
+		for y := 0; y < 32; y++ {
+			want += curve[img.At(x, y)]
+			gotD += float64(dithered.At(x, y))
+			gotP += float64(plain.At(x, y))
+		}
+		want /= 32
+		gotD /= 32
+		gotP /= 32
+		ditherErr += math.Abs(gotD - want)
+		plainErr += math.Abs(gotP - want)
+		exactErr += 0
+	}
+	_ = exactErr
+	if ditherErr >= plainErr {
+		t.Errorf("dithering did not improve tonal tracking: %v >= %v", ditherErr, plainErr)
+	}
+	// Dithered output uses more distinct codes (banding broken up).
+	distinct := func(m *gray.Image) int {
+		var seen [256]bool
+		n := 0
+		for _, p := range m.Pix {
+			if !seen[p] {
+				seen[p] = true
+				n++
+			}
+		}
+		return n
+	}
+	if distinct(dithered) <= distinct(plain) {
+		t.Errorf("dithered levels %d <= plain levels %d", distinct(dithered), distinct(plain))
+	}
+}
+
+func TestCompensatedCurve(t *testing.T) {
+	var exact [Levels]float64
+	for v := 0; v < Levels; v++ {
+		exact[v] = float64(v) * 0.5 // range 0..127.5
+	}
+	c, err := CompensatedCurve(&exact, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c[255]-255) > 1e-9 {
+		t.Errorf("compensated top = %v, want 255", c[255])
+	}
+	if math.Abs(c[128]-128) > 1e-9 {
+		t.Errorf("compensated midpoint = %v, want 128", c[128])
+	}
+	if _, err := CompensatedCurve(nil, 0.5); err == nil {
+		t.Error("nil curve should error")
+	}
+	if _, err := CompensatedCurve(&exact, 0); err == nil {
+		t.Error("zero beta should error")
+	}
+	if _, err := CompensatedCurve(&exact, 1.5); err == nil {
+		t.Error("beta > 1 should error")
+	}
+}
+
+func TestDitherDeterministic(t *testing.T) {
+	img := gray.New(32, 32)
+	for i := range img.Pix {
+		img.Pix[i] = uint8(i * 7)
+	}
+	a, err := ApplyErrorDiffusion(img, halfCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ApplyErrorDiffusion(img, halfCurve())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("error diffusion must be deterministic")
+	}
+}

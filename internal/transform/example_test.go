@@ -1,0 +1,52 @@
+package transform_test
+
+import (
+	"fmt"
+
+	"hebs/internal/transform"
+)
+
+// ExampleContrastScale shows the DLS contrast-enhancement transform of
+// Eq. 2b: pixel values are divided by β and saturate at white.
+func ExampleContrastScale() {
+	lut, err := transform.ContrastScale(0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(lut[0], lut[64], lut[128], lut[255])
+	// Output: 0 128 255 255
+}
+
+// ExamplePiecewise builds the k-band grayscale-spreading function of
+// Figure 3: flat below 50, linear ramp to 200, flat above.
+func ExamplePiecewise() {
+	lut, err := transform.Piecewise([]transform.Point{
+		{X: 0, Y: 0}, {X: 50, Y: 0}, {X: 200, Y: 255}, {X: 255, Y: 255},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(lut[25], lut[50], lut[125], lut[200], lut[230])
+	// Output: 0 0 128 255 255
+}
+
+// ExampleLUT_PseudoInverse demonstrates the reconstruction used by the
+// distortion measure: a range-halving transform merges pixel pairs, and
+// the pseudo-inverse maps each merged level back to a representative.
+func ExampleLUT_PseudoInverse() {
+	lut, err := transform.ScaleToRange(0, 127)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	recon, err := lut.Reconstruction()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Levels 100 and 101 merge; both reconstruct to the same value.
+	fmt.Println(lut[100] == lut[101], recon[100] == recon[101])
+	// Output: true true
+}

@@ -1,0 +1,72 @@
+// Energy replay: drive a processed clip through the LCD subsystem
+// simulator to turn the per-frame β schedule into joules.
+package video
+
+import (
+	"errors"
+	"fmt"
+
+	"hebs/internal/driver"
+	"hebs/internal/equalize"
+	"hebs/internal/histogram"
+	"hebs/internal/lcd"
+	"hebs/internal/plc"
+)
+
+// ReplayEnergy plays the clip through an LCD simulator twice — once
+// with the processed per-frame HEBS programs, once with the identity
+// program at full backlight — and returns both energy totals (joules).
+// The display config's panel size is overridden to the clip's frame
+// size.
+func ReplayEnergy(clip *Sequence, res *Result, cfg lcd.Config) (dimmed, full float64, err error) {
+	if clip == nil || len(clip.Frames) == 0 {
+		return 0, 0, errors.New("video: empty clip")
+	}
+	if res == nil || len(res.Frames) != len(clip.Frames) {
+		return 0, 0, fmt.Errorf("video: result has %d frames, clip has %d",
+			resultLen(res), len(clip.Frames))
+	}
+	cfg.Width, cfg.Height = clip.Frames[0].W, clip.Frames[0].H
+
+	dimmedDisplay, err := lcd.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	fullDisplay, err := lcd.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i, frame := range clip.Frames {
+		// Rebuild the frame's Λ at the applied range and program the
+		// reference driver before energizing.
+		ghe, err := equalize.SolveRange(histogram.Of(frame), res.Frames[i].Range)
+		if err != nil {
+			return 0, 0, err
+		}
+		coarse, err := plc.Coarsen(ghe.Points(), cfg.Driver.Sources)
+		if err != nil {
+			return 0, 0, err
+		}
+		prog, err := driver.ProgramHierarchical(cfg.Driver, coarse.Points, res.Frames[i].Beta)
+		if err != nil {
+			return 0, 0, err
+		}
+		if err := dimmedDisplay.LoadProgram(prog); err != nil {
+			return 0, 0, err
+		}
+		if _, err := dimmedDisplay.ShowFrame(frame); err != nil {
+			return 0, 0, err
+		}
+		if _, err := fullDisplay.ShowFrame(frame); err != nil {
+			return 0, 0, err
+		}
+	}
+	return dimmedDisplay.Stats().TotalEnergy, fullDisplay.Stats().TotalEnergy, nil
+}
+
+func resultLen(res *Result) int {
+	if res == nil {
+		return 0
+	}
+	return len(res.Frames)
+}

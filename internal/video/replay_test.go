@@ -1,0 +1,79 @@
+package video
+
+import (
+	"testing"
+
+	"hebs/internal/core"
+	"hebs/internal/lcd"
+)
+
+func TestReplayEnergySavesPower(t *testing.T) {
+	seq, err := Pan(base(t), 48, 48, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Process(seq, Policy{
+		Options: core.Options{MaxDistortionPercent: 10, ExactSearch: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimmed, full, err := ReplayEnergy(seq, res, lcd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dimmed <= 0 || full <= 0 {
+		t.Fatalf("non-positive energies: %v / %v", dimmed, full)
+	}
+	if dimmed >= full {
+		t.Errorf("dimmed energy %v not below full %v", dimmed, full)
+	}
+	saving := 1 - dimmed/full
+	if saving < 0.2 {
+		t.Errorf("replay saving only %.1f%%", saving*100)
+	}
+}
+
+func TestReplayEnergyValidation(t *testing.T) {
+	seq, err := Pan(base(t), 48, 48, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayEnergy(nil, &Result{}, lcd.DefaultConfig()); err == nil {
+		t.Error("nil clip should error")
+	}
+	if _, _, err := ReplayEnergy(seq, nil, lcd.DefaultConfig()); err == nil {
+		t.Error("nil result should error")
+	}
+	short := &Result{Frames: make([]FrameResult, 1)}
+	if _, _, err := ReplayEnergy(seq, short, lcd.DefaultConfig()); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestReplayEnergyMatchesPolicySavingDirection(t *testing.T) {
+	// A looser budget must not consume more replay energy.
+	seq, err := Pan(base(t), 48, 48, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Process(seq, Policy{Options: core.Options{MaxDistortionPercent: 3, ExactSearch: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Process(seq, Policy{Options: core.Options{MaxDistortionPercent: 25, ExactSearch: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eTight, _, err := ReplayEnergy(seq, tight, lcd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eLoose, _, err := ReplayEnergy(seq, loose, lcd.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eLoose > eTight+1e-9 {
+		t.Errorf("loose budget used more energy: %v > %v", eLoose, eTight)
+	}
+}

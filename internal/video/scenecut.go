@@ -1,0 +1,137 @@
+// Scene-change detection. The temporal policy's CutThreshold operates
+// on β jumps, which conflates scene cuts with mere exposure drift; the
+// detector here works directly on histogram statistics — the same
+// signal the backlight controller already computes — so cuts can be
+// identified before the policy decides how fast to move β.
+package video
+
+import (
+	"errors"
+	"fmt"
+
+	"hebs/internal/histogram"
+)
+
+// DefaultCutDistance is the earth-mover's distance (in grayscale
+// levels, on normalized histograms) above which consecutive frames are
+// treated as a scene cut. Typical exposure drift moves the histogram a
+// few levels per frame; cuts move it tens of levels.
+const DefaultCutDistance = 20.0
+
+// DetectCuts returns the indices of frames that start a new scene: the
+// histogram EMA of the running scene is compared against each new
+// frame's histogram, and an earth-mover's distance above threshold
+// marks a cut (the estimator then restarts on the new scene).
+// threshold <= 0 selects DefaultCutDistance. Frame 0 never counts.
+func DetectCuts(seq *Sequence, threshold float64) ([]int, error) {
+	if seq == nil || len(seq.Frames) == 0 {
+		return nil, errors.New("video: empty sequence")
+	}
+	if threshold <= 0 {
+		threshold = DefaultCutDistance
+	}
+	// A fairly fast EMA keeps the reference current within a scene.
+	est, err := histogram.NewEstimator(0.4)
+	if err != nil {
+		return nil, err
+	}
+	var cuts []int
+	for i, f := range seq.Frames {
+		h := histogram.Of(f)
+		if i == 0 {
+			if err := est.Observe(h); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		d, err := est.Distance(h)
+		if err != nil {
+			return nil, err
+		}
+		if d > threshold {
+			cuts = append(cuts, i)
+			// Restart the scene reference.
+			est, err = histogram.NewEstimator(0.4)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := est.Observe(h); err != nil {
+			return nil, err
+		}
+	}
+	return cuts, nil
+}
+
+// ProcessWithCutDetection runs Process with the slew-rate policy, but
+// snaps β at detected scene cuts instead of relying on a β-jump
+// threshold: histogram-level cut detection fires even when the cut
+// happens to land on a similar β (where the β-threshold would not).
+// cutDistance <= 0 selects DefaultCutDistance.
+func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*Result, error) {
+	if seq == nil || len(seq.Frames) == 0 {
+		return nil, errors.New("video: empty sequence")
+	}
+	cuts, err := DetectCuts(seq, cutDistance)
+	if err != nil {
+		return nil, err
+	}
+	isCut := make(map[int]bool, len(cuts))
+	for _, c := range cuts {
+		isCut[c] = true
+	}
+	// Process scene by scene: within a scene the slew policy applies
+	// with no β-threshold; at each cut the policy restarts (immediate
+	// snap to the new scene's target).
+	scenePol := pol
+	scenePol.CutThreshold = 0
+	res := &Result{}
+	start := 0
+	flush := func(end int) error {
+		if end <= start {
+			return nil
+		}
+		sub, err := NewSequence(seq.Frames[start:end])
+		if err != nil {
+			return err
+		}
+		r, err := Process(sub, scenePol)
+		if err != nil {
+			return fmt.Errorf("video: scene at frame %d: %w", start, err)
+		}
+		res.Frames = append(res.Frames, r.Frames...)
+		return nil
+	}
+	for i := range seq.Frames {
+		if i > 0 && isCut[i] {
+			if err := flush(i); err != nil {
+				return nil, err
+			}
+			start = i
+		}
+	}
+	if err := flush(len(seq.Frames)); err != nil {
+		return nil, err
+	}
+	// Aggregate like Process.
+	var sumSave, sumDelta, maxDelta float64
+	for i, f := range res.Frames {
+		sumSave += f.SavingPercent
+		if i > 0 {
+			d := f.Beta - res.Frames[i-1].Beta
+			if d < 0 {
+				d = -d
+			}
+			sumDelta += d
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	res.MeanSaving = sumSave / float64(len(res.Frames))
+	if len(res.Frames) > 1 {
+		res.MeanAbsDeltaBeta = sumDelta / float64(len(res.Frames)-1)
+	}
+	res.MaxAbsDeltaBeta = maxDelta
+	return res, nil
+}

@@ -1,0 +1,265 @@
+// Package video extends HEBS from single images to frame sequences,
+// the direction the paper's conclusion points to for future work.
+// Per-frame backlight scaling is free power, but a backlight factor
+// that jumps between consecutive frames is visible as flicker; the
+// temporal policy here rate-limits β between frames (slew-rate
+// hysteresis) and the package provides a flicker metric plus synthetic
+// sequence generators (pans, fades, scene cuts) to exercise it.
+package video
+
+import (
+	"errors"
+	"fmt"
+	"image"
+	"math"
+
+	"hebs/internal/core"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/power"
+	"hebs/internal/transform"
+)
+
+// Sequence is an ordered list of equally-sized frames.
+type Sequence struct {
+	Frames []*gray.Image
+}
+
+// NewSequence validates frame sizes and wraps them.
+func NewSequence(frames []*gray.Image) (*Sequence, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("video: empty sequence")
+	}
+	for i, f := range frames {
+		if f == nil {
+			return nil, fmt.Errorf("video: nil frame %d", i)
+		}
+	}
+	w, h := frames[0].W, frames[0].H
+	for i, f := range frames {
+		if f.W != w || f.H != h {
+			return nil, fmt.Errorf("video: frame %d is %dx%d, want %dx%d", i, f.W, f.H, w, h)
+		}
+	}
+	return &Sequence{Frames: frames}, nil
+}
+
+// Pan generates a sequence by sliding a viewport across a larger base
+// image, dx pixels per frame (wrapping around).
+func Pan(base *gray.Image, viewW, viewH, frames, dx int) (*Sequence, error) {
+	if base == nil {
+		return nil, errors.New("video: nil base image")
+	}
+	if viewW <= 0 || viewH <= 0 || viewW > base.W || viewH > base.H {
+		return nil, fmt.Errorf("video: viewport %dx%d does not fit base %dx%d",
+			viewW, viewH, base.W, base.H)
+	}
+	if frames <= 0 {
+		return nil, fmt.Errorf("video: need positive frame count, got %d", frames)
+	}
+	out := make([]*gray.Image, frames)
+	for i := range out {
+		x0 := (i * dx) % (base.W - viewW + 1)
+		if x0 < 0 {
+			x0 += base.W - viewW + 1
+		}
+		sub, err := base.SubImage(image.Rect(x0, 0, x0+viewW, viewH))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sub
+	}
+	return NewSequence(out)
+}
+
+// Fade generates a linear cross-fade from a to b over the given number
+// of frames (inclusive of both endpoints).
+func Fade(a, b *gray.Image, frames int) (*Sequence, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("video: nil endpoint image")
+	}
+	if a.W != b.W || a.H != b.H {
+		return nil, errors.New("video: endpoint sizes differ")
+	}
+	if frames < 2 {
+		return nil, fmt.Errorf("video: fade needs >= 2 frames, got %d", frames)
+	}
+	out := make([]*gray.Image, frames)
+	for i := range out {
+		t := float64(i) / float64(frames-1)
+		f := gray.New(a.W, a.H)
+		for p := range f.Pix {
+			v := (1-t)*float64(a.Pix[p]) + t*float64(b.Pix[p])
+			f.Pix[p] = uint8(math.Round(v))
+		}
+		out[i] = f
+	}
+	return NewSequence(out)
+}
+
+// Cut concatenates two sequences (a scene cut).
+func Cut(a, b *Sequence) (*Sequence, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("video: nil sequence")
+	}
+	return NewSequence(append(append([]*gray.Image{}, a.Frames...), b.Frames...))
+}
+
+// Policy configures temporal backlight control.
+type Policy struct {
+	// MaxStep is the largest allowed |Δβ| between consecutive frames
+	// (slew-rate limit). 0 disables smoothing. A cut larger than
+	// CutThreshold bypasses the limit (scene changes mask flicker).
+	MaxStep float64
+	// CutThreshold: when the target β changes by more than this, the
+	// policy treats it as a scene cut and snaps immediately. 0 disables
+	// snapping.
+	CutThreshold float64
+	// ReuseThreshold enables the static-scene optimization: when the
+	// earth-mover's distance between the running histogram estimate and
+	// the new frame's histogram is below this many levels, the previous
+	// frame's admissible range is reused instead of re-running the
+	// per-frame range search (the expensive step). 0 disables reuse.
+	ReuseThreshold float64
+	// HEBS options applied per frame. DynamicRange/budget semantics as
+	// in core.Options.
+	Options core.Options
+}
+
+// FrameResult records one processed frame.
+type FrameResult struct {
+	// TargetBeta is the per-frame HEBS optimum.
+	TargetBeta float64
+	// Beta is the applied (smoothed) backlight factor.
+	Beta float64
+	// Range is the dynamic range corresponding to Beta.
+	Range int
+	// SavingPercent is the subsystem power saving for this frame.
+	SavingPercent float64
+	// Distortion is the achieved distortion at the applied range.
+	Distortion float64
+}
+
+// Result is a processed sequence.
+type Result struct {
+	Frames []FrameResult
+	// MeanSaving is the average per-frame power saving.
+	MeanSaving float64
+	// Flicker metrics over the applied β track.
+	MeanAbsDeltaBeta float64
+	MaxAbsDeltaBeta  float64
+}
+
+// Process runs per-frame HEBS with the temporal policy. The per-frame
+// target β comes from the frame's own HEBS solution; the applied β is
+// a fast-attack / slow-decay track: increases (brightening) are applied
+// immediately because a β below the frame's target would violate its
+// distortion budget, while decreases (dimming) are slew-rate limited by
+// MaxStep — a gradual dim is far less visible than a gradual brighten
+// is harmful. A target drop larger than CutThreshold is treated as a
+// scene cut and snaps immediately (the cut masks the flicker).
+func Process(seq *Sequence, pol Policy) (*Result, error) {
+	if seq == nil || len(seq.Frames) == 0 {
+		return nil, errors.New("video: empty sequence")
+	}
+	if pol.MaxStep < 0 || pol.CutThreshold < 0 || pol.ReuseThreshold < 0 {
+		return nil, fmt.Errorf("video: negative policy parameters %+v", pol)
+	}
+	sub := power.DefaultSubsystem
+	if pol.Options.Subsystem != nil {
+		sub = *pol.Options.Subsystem
+	}
+	res := &Result{}
+	prevBeta := math.NaN()
+	prevRange := 0
+	var est *histogram.Estimator
+	if pol.ReuseThreshold > 0 {
+		var err error
+		est, err = histogram.NewEstimator(0.5)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, frame := range seq.Frames {
+		opts := pol.Options
+		if est != nil {
+			h := histogram.Of(frame)
+			if est.Ready() && prevRange > 0 {
+				d, err := est.Distance(h)
+				if err != nil {
+					return nil, err
+				}
+				if d < pol.ReuseThreshold {
+					// Static scene: skip the range search, keep the
+					// previous admissible range.
+					opts.DynamicRange = prevRange
+					opts.MaxDistortionPercent = 0
+				}
+			}
+			if err := est.Observe(h); err != nil {
+				return nil, err
+			}
+		}
+		r, err := core.Process(frame, opts)
+		if err != nil {
+			return nil, fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		prevRange = r.Range
+		target := r.Beta
+		applied := target
+		if !math.IsNaN(prevBeta) && pol.MaxStep > 0 {
+			delta := target - prevBeta
+			isCut := pol.CutThreshold > 0 && math.Abs(delta) > pol.CutThreshold
+			// Brightening (delta >= 0) is immediate: staying below the
+			// frame's target would exceed its distortion budget. Dimming
+			// is slew-limited unless a scene cut masks it.
+			if delta < -pol.MaxStep && !isCut {
+				applied = prevBeta - pol.MaxStep
+			}
+		}
+		fr := FrameResult{TargetBeta: target, Beta: applied}
+		if applied != target {
+			// Re-run the pipeline at the applied range so the image is
+			// transformed consistently with the actual backlight.
+			rng, err := power.RangeForBeta(applied, transform.Levels)
+			if err != nil {
+				return nil, err
+			}
+			opts := pol.Options
+			opts.DynamicRange = rng
+			opts.MaxDistortionPercent = 0
+			r, err = core.Process(frame, opts)
+			if err != nil {
+				return nil, fmt.Errorf("video: frame %d (smoothed): %w", i, err)
+			}
+		}
+		fr.Range = r.Range
+		fr.Beta = r.Beta
+		fr.Distortion = r.AchievedDistortion
+		saving, err := sub.SavingPercent(frame, r.Transformed, r.Beta)
+		if err != nil {
+			return nil, err
+		}
+		fr.SavingPercent = saving
+		res.Frames = append(res.Frames, fr)
+		prevBeta = fr.Beta
+	}
+	// Aggregate.
+	var sumSave, sumDelta, maxDelta float64
+	for i, f := range res.Frames {
+		sumSave += f.SavingPercent
+		if i > 0 {
+			d := math.Abs(f.Beta - res.Frames[i-1].Beta)
+			sumDelta += d
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	res.MeanSaving = sumSave / float64(len(res.Frames))
+	if len(res.Frames) > 1 {
+		res.MeanAbsDeltaBeta = sumDelta / float64(len(res.Frames)-1)
+	}
+	res.MaxAbsDeltaBeta = maxDelta
+	return res, nil
+}
