@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build verify check bench bench-guard clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must keep green.
+verify:
+	$(GO) build ./... && $(GO) test ./...
+
+# Full hygiene pass: vet + race-enabled tests across the module.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Asserts disabled tracing stays within noise: the nil-sink guard in
+# internal/obs plus the traced-vs-direct pipeline benchmark pair.
+bench-guard:
+	$(GO) test -run TestNilSinkOverheadGuard -v ./internal/obs
+	$(GO) test -run='^$$' -bench='KernelFullPipeline(DirectRange|Traced)$$' -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"hebs/internal/equalize"
 	"hebs/internal/experiments"
 	"hebs/internal/histogram"
+	"hebs/internal/obs"
 	"hebs/internal/plc"
 	"hebs/internal/quality"
 	"hebs/internal/sipi"
@@ -194,6 +195,30 @@ func BenchmarkKernelFullPipelineDirectRange(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Process(img, core.Options{DynamicRange: 150}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelFullPipelineTraced is the tracing counterpart of
+// BenchmarkKernelFullPipelineDirectRange: same pipeline with a live
+// collector sink, so the delta between the two is the full cost of
+// span collection. The nil-sink (disabled) path is separately held to
+// near-zero by TestNilSinkOverheadGuard in internal/obs.
+func BenchmarkKernelFullPipelineTraced(b *testing.B) {
+	img, err := sipi.Generate("lena", 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	col := obs.NewCollector()
+	prev := obs.SetSink(col)
+	defer obs.SetSink(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Process(img, core.Options{DynamicRange: 150}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			col.Reset() // bound collector memory over long runs
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"hebs/internal/driver"
 	"hebs/internal/gray"
 	"hebs/internal/imageio"
+	"hebs/internal/obs"
 	"hebs/internal/power"
 	"hebs/internal/rgb"
 	"hebs/internal/sipi"
@@ -34,9 +35,10 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hebs", flag.ContinueOnError)
 	fs.SetOutput(out)
+	diag := obs.AddCLIFlags(fs)
 	in := fs.String("in", "", "input image file (.pgm/.ppm/.png)")
 	bench := fs.String("bench", "", "use a synthetic benchmark image instead of -in (e.g. lena)")
 	outPath := fs.String("out", "", "write the transformed (frame-buffer) image here")
@@ -53,6 +55,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if stopErr := diag.Stop(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
 
 	var colorImg *rgb.Image
 	if *colorMode {
@@ -118,23 +128,24 @@ func run(args []string, out io.Writer) error {
 	}
 
 	st := img.Statistics()
+	stats := res.Stats()
 	fmt.Fprintf(out, "input:                %dx%d, dynamic range %d, %d levels\n",
 		img.W, img.H, st.DynamicRng, st.NumLevels)
-	fmt.Fprintf(out, "admissible range R:   %d\n", res.Range)
-	fmt.Fprintf(out, "backlight factor β:   %.4f\n", res.Beta)
-	if res.PredictedDistortion > 0 {
-		fmt.Fprintf(out, "predicted distortion: %.2f%%\n", res.PredictedDistortion)
+	fmt.Fprintf(out, "admissible range R:   %d\n", stats.Range)
+	fmt.Fprintf(out, "backlight factor β:   %.4f\n", stats.Beta)
+	if stats.PredictedDistortion > 0 {
+		fmt.Fprintf(out, "predicted distortion: %.2f%%\n", stats.PredictedDistortion)
 	}
-	fmt.Fprintf(out, "achieved distortion:  %.2f%%\n", res.AchievedDistortion)
+	fmt.Fprintf(out, "achieved distortion:  %.2f%%\n", stats.AchievedDistortion)
 	fmt.Fprintf(out, "PLC segments:         %d (MSE %.3f levels²)\n",
-		len(res.Breakpoints)-1, res.PLCError)
-	fmt.Fprintf(out, "power:                %.3f W -> %.3f W\n", res.PowerBefore, res.PowerAfter)
-	fmt.Fprintf(out, "power saving:         %.2f%%\n", res.PowerSavingPercent)
-	sys, err := power.SmartBadgeActive.SystemSavingPercent(res.PowerSavingPercent)
+		stats.Segments, stats.PLCError)
+	fmt.Fprintf(out, "power:                %.3f W -> %.3f W\n", stats.PowerBefore, stats.PowerAfter)
+	fmt.Fprintf(out, "power saving:         %.2f%%\n", stats.PowerSavingPercent)
+	sys, err := power.SmartBadgeActive.SystemSavingPercent(stats.PowerSavingPercent)
 	if err == nil {
 		fmt.Fprintf(out, "system saving:        %.2f%% (active mode, SmartBadge share)\n", sys)
 	}
-	fmt.Fprintf(out, "hardware realization: MSE %.3f levels²\n", res.RealizationError)
+	fmt.Fprintf(out, "hardware realization: MSE %.3f levels²\n", stats.RealizationError)
 
 	if *voltages {
 		fmt.Fprintln(out, "\nPLRD reference voltages (Eq. 10):")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -203,5 +204,56 @@ func TestRunWithShippedCurve(t *testing.T) {
 	}
 	if err := run([]string{"-bench", "girl", "-distortion", "10", "-curve", bad}, &sb); err == nil {
 		t.Error("corrupt curve should error")
+	}
+}
+
+func TestRunObservabilityArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var sb strings.Builder
+	if err := run([]string{"-bench", "lena", "-range", "150", "-resize", "48",
+		"-trace-out", tracePath, "-metrics-out", metricsPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var spans []map[string]any
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s["name"].(string)] = true
+	}
+	for _, want := range []string{"core.Process", "stage.range_select", "stage.histogram",
+		"stage.equalize", "stage.plc", "stage.driver", "stage.apply",
+		"stage.distortion", "stage.power", "plc.dp"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+	data, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics not written: %v", err)
+	}
+	var snap struct {
+		Counters   map[string]int64          `json:"counters"`
+		Gauges     map[string]float64        `json:"gauges"`
+		Histograms map[string]map[string]any `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics not valid JSON: %v", err)
+	}
+	if snap.Counters["core.frames_total"] < 1 {
+		t.Error("metrics missing processed frame count")
+	}
+	if snap.Gauges["core.last_range"] != 150 {
+		t.Errorf("last_range gauge = %v, want 150", snap.Gauges["core.last_range"])
+	}
+	if _, ok := snap.Histograms["core.stage.plc.seconds"]; !ok {
+		t.Error("metrics missing per-stage latency histogram")
 	}
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,9 +25,27 @@ import (
 	"hebs/internal/core"
 	"hebs/internal/experiments"
 	"hebs/internal/imageio"
+	"hebs/internal/obs"
 	"hebs/internal/report"
 	"hebs/internal/sipi"
 )
+
+// benchDoc is the -json output: every emitted table in machine-readable
+// form plus the observability registry snapshot, so BENCH_*.json perf
+// and quality trajectories can be tracked across PRs.
+type benchDoc struct {
+	ImageSize int          `json:"image_size"`
+	Tables    []benchTable `json:"tables"`
+	Metrics   obs.Snapshot `json:"metrics"`
+}
+
+// benchTable mirrors one report.Table.
+type benchTable struct {
+	Name    string     `json:"name"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -35,16 +54,26 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hebsbench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	dumpDir := fs.String("dump", "", "write the Figure 8 image dumps (PGM) into this directory")
 	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations")
+	jsonOut := fs.String("json", "", "write the emitted tables plus a metrics snapshot as JSON to this file")
+	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if stopErr := diag.Stop(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
 
 	cfg := experiments.Config{ImageSize: *size}
 	selected := map[string]bool{}
@@ -61,12 +90,21 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	doc := benchDoc{ImageSize: *size}
 	emit := func(name, title string, tb *report.Table) error {
 		if err := report.Section(out, title); err != nil {
 			return err
 		}
 		if err := tb.WriteText(out); err != nil {
 			return err
+		}
+		if *jsonOut != "" {
+			doc.Tables = append(doc.Tables, benchTable{
+				Name:    name,
+				Title:   title,
+				Columns: tb.Columns(),
+				Rows:    tb.Rows(),
+			})
 		}
 		if *csvDir != "" {
 			f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
@@ -193,6 +231,25 @@ func run(args []string, out io.Writer) error {
 		if err := runAblations(cfg, emit); err != nil {
 			return err
 		}
+	}
+
+	if *jsonOut != "" {
+		// Snapshot last so the metrics cover the runs above.
+		doc.Metrics = obs.Default().Snapshot()
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nwrote JSON summary to %s\n", *jsonOut)
 	}
 
 	fmt.Fprintln(out)

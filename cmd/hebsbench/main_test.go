@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -89,5 +90,48 @@ func TestRunUnknownOnlyIsNoop(t *testing.T) {
 	}
 	if strings.Contains(sb.String(), "==") {
 		t.Error("unknown -only selector should produce no sections")
+	}
+}
+
+func TestRunJSONSummary(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-only", "fig8", "-size", "32", "-json", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote JSON summary") {
+		t.Error("JSON summary not announced")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("JSON not written: %v", err)
+	}
+	var doc struct {
+		ImageSize int `json:"image_size"`
+		Tables    []struct {
+			Name    string     `json:"name"`
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("summary not valid JSON: %v", err)
+	}
+	if doc.ImageSize != 32 {
+		t.Errorf("image_size = %d, want 32", doc.ImageSize)
+	}
+	if len(doc.Tables) != 1 || doc.Tables[0].Name != "fig8" {
+		t.Fatalf("tables = %+v, want exactly fig8", doc.Tables)
+	}
+	if len(doc.Tables[0].Rows) == 0 || len(doc.Tables[0].Columns) != 4 {
+		t.Errorf("fig8 table shape wrong: %+v", doc.Tables[0])
+	}
+	if doc.Metrics.Counters["core.frames_total"] < 1 {
+		t.Error("metrics snapshot missing frame counter")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"hebs/internal/experiments"
+	"hebs/internal/obs"
 	"hebs/internal/power"
 	"hebs/internal/report"
 )
@@ -26,15 +27,24 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hebschar", flag.ContinueOnError)
 	fs.SetOutput(out)
 	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
 	samples := fs.Int("samples", 21, "sample count for the power curves")
 	save := fs.String("save", "", "write the fitted characteristic curve as JSON (for cmd/hebs -curve)")
+	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if stopErr := diag.Stop(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
 
 	cfg := experiments.Config{ImageSize: *size}
 

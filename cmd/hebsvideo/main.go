@@ -15,9 +15,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 
 	"hebs/internal/core"
 	"hebs/internal/gray"
+	"hebs/internal/obs"
 	"hebs/internal/report"
 	"hebs/internal/sipi"
 	"hebs/internal/video"
@@ -30,7 +33,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("hebsvideo", flag.ContinueOnError)
 	fs.SetOutput(out)
 	clipKind := fs.String("clip", "mixed", "clip type: pan, fade, cut or mixed")
@@ -40,11 +43,25 @@ func run(args []string, out io.Writer) error {
 	cutDetect := fs.Bool("cutdetect", true, "use histogram scene-cut detection for snapping")
 	reuse := fs.Float64("reuse", 0, "static-scene reuse threshold in EMD levels (0 disables)")
 	size := fs.Int("size", 96, "frame edge length")
+	timeline := fs.Bool("timeline", false, "print the per-frame span timeline (stage durations)")
+	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *budget <= 0 {
 		return fmt.Errorf("budget must be positive, got %v", *budget)
+	}
+	if err := diag.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		if stopErr := diag.Stop(); stopErr != nil && err == nil {
+			err = stopErr
+		}
+	}()
+	var col *obs.Collector
+	if *timeline {
+		col = diag.Collector()
 	}
 
 	clip, err := buildClip(*clipKind, *frames, *size)
@@ -89,7 +106,73 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "detected cuts: %v\n", cuts)
+
+	if *timeline {
+		if err := printTimeline(out, col); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// timelineStages are the pipeline stages broken out per frame, in
+// Figure 4 order.
+var timelineStages = []string{
+	"range_select", "histogram", "equalize", "plc", "driver",
+	"apply", "distortion", "power",
+}
+
+// printTimeline renders the per-frame span timeline: one row per
+// video.frame span with its total duration and the time spent in each
+// pipeline stage beneath it (summed over the frame's subtree — a
+// slew-limited frame runs the pipeline twice), so flicker-policy
+// decisions are attributable to their cost.
+func printTimeline(out io.Writer, col *obs.Collector) error {
+	children := col.Children()
+	var frames []obs.SpanData
+	for _, spans := range children {
+		for _, s := range spans {
+			if s.Name == "video.frame" {
+				frames = append(frames, s)
+			}
+		}
+	}
+	sort.Slice(frames, func(i, j int) bool {
+		fi, _ := frames[i].Attrs["frame"].(int)
+		fj, _ := frames[j].Attrs["frame"].(int)
+		return fi < fj
+	})
+	fmt.Fprintf(out, "\nper-frame span timeline (µs per stage):\n")
+	header := append([]string{"frame", "total_us", "runs"}, timelineStages...)
+	tb := report.NewTable(header...)
+	for _, f := range frames {
+		perStage := map[string]float64{}
+		runs := 0
+		var walk func(id uint64)
+		walk = func(id uint64) {
+			for _, s := range children[id] {
+				if name, ok := strings.CutPrefix(s.Name, "stage."); ok {
+					perStage[name] += float64(s.Duration.Microseconds())
+				}
+				if s.Name == "core.Process" {
+					runs++
+				}
+				walk(s.ID)
+			}
+		}
+		walk(f.ID)
+		idx, _ := f.Attrs["frame"].(int)
+		row := []string{
+			report.I(idx),
+			report.F(float64(f.Duration.Microseconds()), 0),
+			report.I(runs),
+		}
+		for _, st := range timelineStages {
+			row = append(row, report.F(perStage[st], 0))
+		}
+		tb.MustAddRow(row...)
+	}
+	return tb.WriteText(out)
 }
 
 // buildClip assembles the requested synthetic sequence.

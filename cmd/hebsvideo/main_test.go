@@ -74,3 +74,20 @@ func TestBuildClipShapes(t *testing.T) {
 		}
 	}
 }
+
+func TestRunTimeline(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-clip", "fade", "-frames", "4", "-size", "32",
+		"-timeline"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "per-frame span timeline") {
+		t.Fatalf("timeline section missing:\n%s", out)
+	}
+	for _, col := range []string{"range_select", "equalize", "plc", "apply"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("timeline missing stage column %q", col)
+		}
+	}
+}

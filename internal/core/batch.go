@@ -27,6 +27,12 @@ func ProcessBatch(imgs []*gray.Image, opts Options) ([]*Result, error) {
 			return nil, fmt.Errorf("core: nil image at index %d", i)
 		}
 	}
+	sp := opts.Trace.Child("core.ProcessBatch")
+	defer sp.End()
+	sp.SetInt("images", len(imgs))
+	opts.Trace = sp // nest every worker's run under the batch span
+	mBatchesTotal.Inc()
+	mBatchImages.Add(int64(len(imgs)))
 	if opts.DynamicRange == 0 && !opts.ExactSearch && opts.Curve == nil {
 		// Warm the shared curve outside the workers (sync.Once inside
 		// DefaultCurve makes this safe either way; doing it here keeps

@@ -25,6 +25,7 @@ import (
 	"hebs/internal/equalize"
 	"hebs/internal/gray"
 	"hebs/internal/histogram"
+	"hebs/internal/obs"
 	"hebs/internal/plc"
 	"hebs/internal/power"
 	"hebs/internal/rgb"
@@ -71,6 +72,12 @@ type Options struct {
 	// ClipFactor is the contrast limit for EqualizerClipped (>= 1;
 	// 0 means the default of 3).
 	ClipFactor float64
+	// Trace, when non-nil, nests this run's observability spans under
+	// the given parent (the per-frame loop in internal/video uses this
+	// to attribute pipeline time to frames). Nil means each run emits a
+	// root span; with no span sink installed tracing costs nothing
+	// either way.
+	Trace *obs.Span
 }
 
 // Equalizer names a histogram-equalization variant.
@@ -135,6 +142,50 @@ type Result struct {
 	RealizationError float64
 }
 
+// Stats is the one-struct summary of a completed run: the operating
+// point and outcome quantities that CLIs, reports and the metrics
+// layer previously re-derived independently from Result fields. The
+// JSON tags define the machine-readable form used by hebsbench -json.
+type Stats struct {
+	// Range is the admissible dynamic range R; Beta = R/255.
+	Range int     `json:"range"`
+	Beta  float64 `json:"beta"`
+	// Segments is the realized PLC segment count (len(Breakpoints)-1).
+	Segments int `json:"segments"`
+	// PredictedDistortion is the step-1 promise, AchievedDistortion the
+	// measured distortion of Λ on this image (both percent).
+	PredictedDistortion float64 `json:"predicted_distortion_pct"`
+	AchievedDistortion  float64 `json:"achieved_distortion_pct"`
+	// PLCError is the Φ-vs-Λ MSE (levels²).
+	PLCError float64 `json:"plc_mse"`
+	// Power numbers in watts; PowerSavingPercent is the Table 1 metric.
+	PowerBefore        float64 `json:"power_before_w"`
+	PowerAfter         float64 `json:"power_after_w"`
+	PowerSavingPercent float64 `json:"power_saving_pct"`
+	// RealizationError is the hardware-vs-Λ MSE (0 without a driver).
+	RealizationError float64 `json:"realization_mse"`
+}
+
+// Stats collects the run's summary quantities.
+func (r *Result) Stats() Stats {
+	segments := len(r.Breakpoints) - 1
+	if segments < 0 {
+		segments = 0
+	}
+	return Stats{
+		Range:               r.Range,
+		Beta:                r.Beta,
+		Segments:            segments,
+		PredictedDistortion: r.PredictedDistortion,
+		AchievedDistortion:  r.AchievedDistortion,
+		PLCError:            r.PLCError,
+		PowerBefore:         r.PowerBefore,
+		PowerAfter:          r.PowerAfter,
+		PowerSavingPercent:  r.PowerSavingPercent,
+		RealizationError:    r.RealizationError,
+	}
+}
+
 var (
 	defaultCurveOnce sync.Once
 	defaultCurve     *chart.Curve
@@ -143,8 +194,12 @@ var (
 
 // DefaultCurve returns the distortion characteristic curve built from
 // the default 19-image benchmark suite, computing it on first use.
+// The lookups/builds counter pair in the metrics registry exposes the
+// cache behaviour: hits = lookups − builds.
 func DefaultCurve() (*chart.Curve, error) {
+	mCurveLookups.Inc()
 	defaultCurveOnce.Do(func() {
+		mCurveBuilds.Inc()
 		defaultCurve, defaultCurveErr = chart.BuildDefault()
 	})
 	return defaultCurve, defaultCurveErr
@@ -215,6 +270,12 @@ type Plan struct {
 // source count; drv may be nil to skip voltage programming; eq selects
 // the equalization variant (clipFactor as in Options.ClipFactor).
 func PlanFromHistogram(h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
+	return planFromHistogram(nil, h, r, segments, drv, eq, clipFactor)
+}
+
+// planFromHistogram is PlanFromHistogram with the caller's span as the
+// parent of the stage spans (Process passes its run span).
+func planFromHistogram(parent *obs.Span, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
 	if h == nil || h.N == 0 {
 		return nil, errors.New("core: empty histogram")
 	}
@@ -228,6 +289,10 @@ func PlanFromHistogram(h *histogram.Histogram, r, segments int, drv *driver.Conf
 	if err != nil {
 		return nil, err
 	}
+
+	// Step 2: GHE (Eq. 5–7) in the selected variant.
+	eqSpan, eqDone := stage(parent, stageEqualize)
+	eqSpan.SetString("variant", eq.String())
 	var ghe *equalize.Result
 	switch eq {
 	case EqualizerGHE:
@@ -240,16 +305,21 @@ func PlanFromHistogram(h *histogram.Histogram, r, segments int, drv *driver.Conf
 	case EqualizerBBHE:
 		ghe, err = equalize.SolveBBHE(h, 0, r)
 	default:
-		return nil, fmt.Errorf("core: unknown equalizer %v", eq)
+		err = fmt.Errorf("core: unknown equalizer %v", eq)
 	}
+	eqDone(err)
 	if err != nil {
 		return nil, err
 	}
-	coarse, err := plc.Coarsen(ghe.Points(), segments)
-	if err != nil {
-		return nil, err
+
+	// Step 3: coarsen Φ to Λ via the PLC DP (Eq. 9).
+	plcSpan, plcDone := stage(parent, stagePLC)
+	coarse, err := plc.CoarsenTraced(plcSpan, ghe.Points(), segments)
+	var lambda *transform.LUT
+	if err == nil {
+		lambda, err = coarse.LUT()
 	}
-	lambda, err := coarse.LUT()
+	plcDone(err)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +332,10 @@ func PlanFromHistogram(h *histogram.Histogram, r, segments int, drv *driver.Conf
 		PLCError:    coarse.MSE,
 	}
 	if drv != nil {
+		// PLRD voltage programming (Eq. 10).
+		_, drvDone := stage(parent, stageDriver)
 		plan.Program, err = driver.ProgramHierarchical(*drv, coarse.Points, beta)
+		drvDone(err)
 		if err != nil {
 			return nil, err
 		}
@@ -286,25 +359,36 @@ func Process(img *gray.Image, opts Options) (*Result, error) {
 	if opts.Subsystem != nil {
 		sub = *opts.Subsystem
 	}
+	sp := opts.Trace.Child("core.Process")
+	defer sp.End()
 
 	// Step 1: distortion budget -> admissible range and β.
+	_, rsDone := stage(sp, stageRangeSelect)
 	r, predicted, err := selectRange(img, opts)
+	rsDone(err)
 	if err != nil {
 		return nil, err
 	}
 
+	_, histDone := stage(sp, stageHistogram)
+	h := histogram.Of(img)
+	histDone(nil)
+
 	// Steps 2+3: histogram -> Φ -> Λ (+ the PLRD program), the part the
 	// LCD controller computes from its histogram estimator alone.
-	plan, err := PlanFromHistogram(histogram.Of(img), r, segments,
+	plan, err := planFromHistogram(sp, h, r, segments,
 		opts.Driver, opts.Equalizer, opts.ClipFactor)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 4: apply Λ; measure what the dimmed display delivers.
+	_, applyDone := stage(sp, stageApply)
+	transformed := plan.Lambda.Apply(img)
+	applyDone(nil)
 	res := &Result{
 		Original:            img,
-		Transformed:         plan.Lambda.Apply(img),
+		Transformed:         transformed,
 		Lambda:              plan.Lambda,
 		Breakpoints:         plan.Breakpoints,
 		Exact:               plan.Exact,
@@ -314,15 +398,18 @@ func Process(img *gray.Image, opts Options) (*Result, error) {
 		PLCError:            plan.PLCError,
 		Program:             plan.Program,
 	}
+	_, distDone := stage(sp, stageDistortion)
 	res.AchievedDistortion, err = chart.TransformDistortion(img, plan.Lambda, opts.Metric)
+	distDone(err)
 	if err != nil {
 		return nil, err
 	}
+	_, powDone := stage(sp, stagePower)
 	res.PowerBefore, err = sub.Power(img, 1)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		res.PowerAfter, err = sub.Power(res.Transformed, plan.Beta)
 	}
-	res.PowerAfter, err = sub.Power(res.Transformed, plan.Beta)
+	powDone(err)
 	if err != nil {
 		return nil, err
 	}
@@ -334,6 +421,7 @@ func Process(img *gray.Image, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	recordRun(res, sp)
 	return res, nil
 }
 
@@ -372,14 +460,25 @@ func ProcessColor(img *rgb.Image, opts Options) (*ColorResult, error) {
 	if img == nil {
 		return nil, errors.New("core: nil color image")
 	}
-	res, err := Process(img.Luma(), opts)
+	sp := opts.Trace.Child("core.ProcessColor")
+	defer sp.End()
+	opts.Trace = sp
+
+	lumaSpan := sp.Child("stage.luma")
+	luma := img.Luma()
+	lumaSpan.End()
+	res, err := Process(luma, opts)
 	if err != nil {
 		return nil, err
 	}
+	applySpan := sp.Child("stage.apply_color")
+	transformed := img.ApplyLUT(res.Lambda)
+	applySpan.End()
+	mColorFrames.Inc()
 	return &ColorResult{
 		Result:           res,
 		OriginalColor:    img,
-		TransformedColor: img.ApplyLUT(res.Lambda),
+		TransformedColor: transformed,
 	}, nil
 }
 

@@ -1,0 +1,100 @@
+// Pipeline instrumentation: every run of Process feeds the obs metrics
+// registry (frame counters, per-stage latency histograms, operating
+// point distributions) and, when a span sink is installed, emits a span
+// tree with one child per Figure 4 pipeline stage.
+package core
+
+import (
+	"time"
+
+	"hebs/internal/obs"
+)
+
+// Pipeline stage names, used both as span names ("stage.<name>") and
+// metric name components ("core.stage.<name>.seconds").
+const (
+	stageRangeSelect = "range_select" // step 1: D_max → R (Section 3)
+	stageHistogram   = "histogram"    // histogram extraction
+	stageEqualize    = "equalize"     // step 2: GHE Φ (Eq. 5–7)
+	stagePLC         = "plc"          // step 3: PLC DP Λ (Eq. 9)
+	stageDriver      = "driver"       // PLRD programming (Eq. 10)
+	stageApply       = "apply"        // step 4: Λ(F) into the frame buffer
+	stageDistortion  = "distortion"   // achieved-distortion measurement
+	stagePower       = "power"        // power model evaluation
+)
+
+var pipelineStages = []string{
+	stageRangeSelect, stageHistogram, stageEqualize, stagePLC,
+	stageDriver, stageApply, stageDistortion, stagePower,
+}
+
+var (
+	mFramesTotal  = obs.NewCounter("core.frames_total")
+	mColorFrames  = obs.NewCounter("core.color_frames_total")
+	mBatchesTotal = obs.NewCounter("core.batches_total")
+	mBatchImages  = obs.NewCounter("core.batch_images_total")
+	mCurveLookups = obs.NewCounter("core.default_curve_lookups_total")
+	mCurveBuilds  = obs.NewCounter("core.default_curve_builds_total")
+
+	// Operating-point distributions: the per-image quantities the
+	// comparative-HE literature evaluates, as first-class telemetry.
+	mRangeDist      = obs.NewHistogram("core.range", obs.LinearBuckets(0, 32, 8))
+	mBetaDist       = obs.NewHistogram("core.beta", obs.LinearBuckets(0, 0.125, 8))
+	mSegmentsDist   = obs.NewHistogram("core.segments", []float64{2, 4, 8, 16, 32, 64})
+	mDistortionDist = obs.NewHistogram("core.achieved_distortion_pct", obs.LinearBuckets(0, 5, 10))
+	mSavingDist     = obs.NewHistogram("core.power_saving_pct", obs.LinearBuckets(0, 10, 10))
+
+	// Last-run operating point, for quick expvar inspection.
+	gLastRange      = obs.NewGauge("core.last_range")
+	gLastBeta       = obs.NewGauge("core.last_beta")
+	gLastPredicted  = obs.NewGauge("core.last_predicted_distortion_pct")
+	gLastDistortion = obs.NewGauge("core.last_achieved_distortion_pct")
+	gLastSaving     = obs.NewGauge("core.last_power_saving_pct")
+
+	stageLatency = map[string]*obs.Histogram{}
+	stageErrors  = map[string]*obs.Counter{}
+)
+
+func init() {
+	for _, s := range pipelineStages {
+		stageLatency[s] = obs.NewHistogram("core.stage."+s+".seconds", obs.LatencyBuckets())
+		stageErrors[s] = obs.NewCounter("core.stage." + s + ".errors_total")
+	}
+}
+
+// stage opens one pipeline stage: a child span under parent (free when
+// tracing is disabled) plus the always-on latency clock. The returned
+// func closes the span, records the latency and counts an error.
+func stage(parent *obs.Span, name string) (*obs.Span, func(error)) {
+	start := time.Now()
+	sp := parent.Child("stage." + name)
+	return sp, func(err error) {
+		sp.End()
+		stageLatency[name].ObserveDuration(time.Since(start))
+		if err != nil {
+			stageErrors[name].Inc()
+		}
+	}
+}
+
+// recordRun publishes a completed run's operating point to the metrics
+// registry and annotates the run's span.
+func recordRun(res *Result, sp *obs.Span) {
+	st := res.Stats()
+	mFramesTotal.Inc()
+	mRangeDist.Observe(float64(st.Range))
+	mBetaDist.Observe(st.Beta)
+	mSegmentsDist.Observe(float64(st.Segments))
+	mDistortionDist.Observe(st.AchievedDistortion)
+	mSavingDist.Observe(st.PowerSavingPercent)
+	gLastRange.Set(float64(st.Range))
+	gLastBeta.Set(st.Beta)
+	gLastPredicted.Set(st.PredictedDistortion)
+	gLastDistortion.Set(st.AchievedDistortion)
+	gLastSaving.Set(st.PowerSavingPercent)
+	sp.SetInt("range", st.Range)
+	sp.SetFloat("beta", st.Beta)
+	sp.SetInt("segments", st.Segments)
+	sp.SetFloat("achieved_distortion_pct", st.AchievedDistortion)
+	sp.SetFloat("power_saving_pct", st.PowerSavingPercent)
+}

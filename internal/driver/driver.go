@@ -26,8 +26,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"hebs/internal/obs"
 	"hebs/internal/transform"
+)
+
+var (
+	mPrograms = obs.NewCounter("driver.programs_total")
+	mErrors   = obs.NewCounter("driver.errors_total")
+	mLatency  = obs.NewHistogram("driver.program.seconds", obs.LatencyBuckets())
 )
 
 // Config describes a PLRD instance.
@@ -96,20 +104,26 @@ type Program struct {
 // supply rail (outputs that would exceed Vdd saturate, mirroring the
 // physical ladder).
 func ProgramHierarchical(cfg Config, pts []transform.Point, beta float64) (*Program, error) {
+	start := time.Now()
 	if err := cfg.validate(); err != nil {
+		mErrors.Inc()
 		return nil, err
 	}
 	if !(beta > 0 && beta <= 1) {
+		mErrors.Inc()
 		return nil, fmt.Errorf("driver: backlight factor %v outside (0,1]", beta)
 	}
 	if len(pts) < 2 {
+		mErrors.Inc()
 		return nil, errors.New("driver: need at least two breakpoints")
 	}
 	if len(pts)-1 > cfg.Sources {
+		mErrors.Inc()
 		return nil, fmt.Errorf("driver: %d segments exceed the %d controllable sources",
 			len(pts)-1, cfg.Sources)
 	}
 	if pts[0].X != 0 || pts[len(pts)-1].X != transform.Levels-1 {
+		mErrors.Inc()
 		return nil, fmt.Errorf("driver: breakpoints must span [0,255], got [%d,%d]",
 			pts[0].X, pts[len(pts)-1].X)
 	}
@@ -118,9 +132,11 @@ func ProgramHierarchical(cfg Config, pts []transform.Point, beta float64) (*Prog
 	prevY := math.Inf(-1)
 	for i, p := range pts {
 		if i > 0 && p.X <= pts[i-1].X {
+			mErrors.Inc()
 			return nil, fmt.Errorf("driver: breakpoint codes not increasing at %d", i)
 		}
 		if p.Y < prevY {
+			mErrors.Inc()
 			return nil, fmt.Errorf("driver: breakpoint voltages not monotone at %d", i)
 		}
 		prevY = p.Y
@@ -137,6 +153,8 @@ func ProgramHierarchical(cfg Config, pts []transform.Point, beta float64) (*Prog
 		v := lc.Voltage(target) * cfg.Vdd
 		prog.Taps = append(prog.Taps, Tap{Code: p.X, Voltage: cfg.quantize(v)})
 	}
+	mPrograms.Inc()
+	mLatency.ObserveDuration(time.Since(start))
 	return prog, nil
 }
 

@@ -13,9 +13,17 @@ package equalize
 
 import (
 	"fmt"
+	"time"
 
 	"hebs/internal/histogram"
+	"hebs/internal/obs"
 	"hebs/internal/transform"
+)
+
+var (
+	mSolves  = obs.NewCounter("equalize.solves_total")
+	mErrors  = obs.NewCounter("equalize.errors_total")
+	mLatency = obs.NewHistogram("equalize.solve.seconds", obs.LatencyBuckets())
 )
 
 // Result is a solved GHE instance.
@@ -50,12 +58,19 @@ func (r *Result) Points() []transform.Point {
 // level map exactly to gmin, so the transformed image attains the full
 // target dynamic range gmax − gmin.
 func Solve(h *histogram.Histogram, gmin, gmax int) (*Result, error) {
+	start := time.Now()
 	if h == nil || h.N == 0 {
+		mErrors.Inc()
 		return nil, fmt.Errorf("equalize: empty histogram")
 	}
 	if gmin < 0 || gmax > transform.Levels-1 || gmin >= gmax {
+		mErrors.Inc()
 		return nil, fmt.Errorf("equalize: bad target limits [%d,%d]", gmin, gmax)
 	}
+	defer func() {
+		mSolves.Inc()
+		mLatency.ObserveDuration(time.Since(start))
+	}()
 	cdf := h.CDF()
 	hmin := float64(h.Bins[h.MinLevel()])
 	n := float64(h.N)

@@ -1,0 +1,123 @@
+// CLI diagnostics hooks shared by the four commands: pprof CPU/heap
+// profiles, a JSON span dump and a metrics-registry snapshot, all
+// behind standard flags so every tool gains the same observability
+// surface.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLIFlags wires the observability flags into a FlagSet and manages
+// their lifecycle around a command run.
+type CLIFlags struct {
+	cpuProfile *string
+	memProfile *string
+	traceOut   *string
+	metricsOut *string
+
+	cpuFile   *os.File
+	collector *Collector
+	prevSink  Sink
+	started   bool
+}
+
+// AddCLIFlags registers -cpuprofile, -memprofile, -trace-out and
+// -metrics-out on fs and returns the handle to Start/Stop them around
+// the run.
+func AddCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	c.cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	c.memProfile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	c.traceOut = fs.String("trace-out", "", "write the pipeline span trace as JSON to this file")
+	c.metricsOut = fs.String("metrics-out", "", "write the metrics registry snapshot as JSON to this file")
+	return c
+}
+
+// TracingRequested reports whether -trace-out was given.
+func (c *CLIFlags) TracingRequested() bool { return *c.traceOut != "" }
+
+// Collector returns the span collector, installing one as the global
+// sink on first use — commands that render span timelines (hebsvideo)
+// call this to force collection even without -trace-out.
+func (c *CLIFlags) Collector() *Collector {
+	if c.collector == nil {
+		c.collector = NewCollector()
+		c.prevSink = SetSink(c.collector)
+	}
+	return c.collector
+}
+
+// Start begins CPU profiling and installs the span collector when the
+// corresponding flags were given. Call after flag parsing.
+func (c *CLIFlags) Start() error {
+	c.started = true
+	if *c.traceOut != "" {
+		c.Collector()
+	}
+	if *c.cpuProfile != "" {
+		f, err := os.Create(*c.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	return nil
+}
+
+// Stop finishes profiling and writes the requested artifacts. It is
+// safe to call on an un-Started handle (no-op) and restores the
+// previous span sink.
+func (c *CLIFlags) Stop() error {
+	if !c.started {
+		return nil
+	}
+	c.started = false
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		keep(c.cpuFile.Close())
+		c.cpuFile = nil
+	}
+	if c.collector != nil {
+		if *c.traceOut != "" {
+			keep(writeFile(*c.traceOut, c.collector.WriteJSON))
+		}
+		SetSink(c.prevSink)
+		c.prevSink = nil
+	}
+	if *c.metricsOut != "" {
+		keep(writeFile(*c.metricsOut, Default().WriteJSON))
+	}
+	if *c.memProfile != "" {
+		runtime.GC() // materialize up-to-date allocation statistics
+		keep(writeFile(*c.memProfile, pprof.WriteHeapProfile))
+	}
+	return firstErr
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

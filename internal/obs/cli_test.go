@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIFlagsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := AddCLIFlags(fs)
+	if err := fs.Parse([]string{
+		"-trace-out", tracePath, "-metrics-out", metricsPath,
+		"-cpuprofile", cpuPath, "-memprofile", memPath,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.TracingRequested() {
+		t.Error("TracingRequested false with -trace-out set")
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !TracingEnabled() {
+		t.Error("Start did not install a span sink")
+	}
+	sp := StartSpan("work")
+	sp.Child("inner").End()
+	sp.End()
+	NewCounter("cli_test.ran").Inc()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if TracingEnabled() {
+		t.Error("Stop did not restore the nil sink")
+	}
+
+	var spans []SpanData
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &spans); err != nil {
+		t.Fatalf("trace dump unreadable: %v", err)
+	}
+	if len(spans) != 2 {
+		t.Errorf("trace has %d spans, want 2", len(spans))
+	}
+	var snap Snapshot
+	data, err = os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics dump unreadable: %v", err)
+	}
+	if snap.Counters["cli_test.ran"] < 1 {
+		t.Errorf("metrics snapshot missing counter: %v", snap.Counters)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestCLIFlagsStopWithoutStart(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := AddCLIFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Stop(); err != nil {
+		t.Errorf("Stop on un-started handle: %v", err)
+	}
+}
+
+func TestCLIFlagsCollectorWithoutTraceOut(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := AddCLIFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Start(); err != nil {
+		t.Fatal(err)
+	}
+	col := c.Collector() // timeline path: force collection sans -trace-out
+	StartSpan("x").End()
+	if err := c.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if len(col.Spans()) != 1 {
+		t.Errorf("collector captured %d spans, want 1", len(col.Spans()))
+	}
+}

@@ -16,8 +16,16 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
+	"hebs/internal/obs"
 	"hebs/internal/transform"
+)
+
+var (
+	mSolves  = obs.NewCounter("plc.solves_total")
+	mErrors  = obs.NewCounter("plc.errors_total")
+	mLatency = obs.NewHistogram("plc.solve.seconds", obs.LatencyBuckets())
 )
 
 // Result is a solved PLC instance.
@@ -103,22 +111,43 @@ func (t *chordTable) at(i, j int) float64 {
 // The input points must have strictly increasing X and at least two
 // entries; m must satisfy 1 <= m <= len(pts)-1.
 func Coarsen(pts []transform.Point, m int) (*Result, error) {
+	return CoarsenTraced(nil, pts, m)
+}
+
+// CoarsenTraced is Coarsen with the solve's observability spans nested
+// under the given parent (nil for a root span; with no sink installed
+// tracing is free). The chord-table precomputation and the DP sweep
+// get separate child spans so profiles attribute the O(n²) table vs
+// the O(m·n²) transitions.
+func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result, error) {
+	start := time.Now()
 	n := len(pts)
 	if n < 2 {
+		mErrors.Inc()
 		return nil, errors.New("plc: need at least two points")
 	}
 	for i := 1; i < n; i++ {
 		if pts[i].X <= pts[i-1].X {
+			mErrors.Inc()
 			return nil, fmt.Errorf("plc: X not strictly increasing at %d", i)
 		}
 	}
 	if m < 1 || m > n-1 {
+		mErrors.Inc()
 		return nil, fmt.Errorf("plc: segment count %d outside [1,%d]", m, n-1)
 	}
+	sp := parentSpan.Child("plc.Coarsen")
+	defer sp.End()
+	sp.SetInt("points", n)
+	sp.SetInt("segments", m)
+
+	tableSpan := sp.Child("plc.chord_table")
 	cerr := newChordTable(pts)
+	tableSpan.End()
 
 	// dp[k][j]: minimal total squared error covering points 0..j with k
 	// chords ending exactly at j. parent[k][j] reconstructs the split.
+	dpSpan := sp.Child("plc.dp")
 	const inf = math.MaxFloat64
 	dp := make([][]float64, m+1)
 	parent := make([][]int, m+1)
@@ -149,7 +178,9 @@ func Coarsen(pts []transform.Point, m int) (*Result, error) {
 			parent[k][j] = bestI
 		}
 	}
+	dpSpan.End()
 	if dp[m][n-1] == inf {
+		mErrors.Inc()
 		return nil, fmt.Errorf("plc: no feasible %d-segment cover", m)
 	}
 	// Reconstruct endpoint indices.
@@ -169,6 +200,9 @@ func Coarsen(pts []transform.Point, m int) (*Result, error) {
 	for i, id := range idx {
 		res.Points[i] = pts[id]
 	}
+	sp.SetFloat("mse", res.MSE)
+	mSolves.Inc()
+	mLatency.ObserveDuration(time.Since(start))
 	return res, nil
 }
 

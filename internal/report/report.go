@@ -41,6 +41,23 @@ func (t *Table) MustAddRow(cells ...string) {
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Columns returns a copy of the header cells — the machine-readable
+// export path (hebsbench -json) reads tables through this and Rows.
+func (t *Table) Columns() []string {
+	out := make([]string, len(t.header))
+	copy(out, t.header)
+	return out
+}
+
+// Rows returns a copy of the data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // WriteText renders the table with aligned columns: the first column
 // left-aligned (names), the rest right-aligned (numbers).
 func (t *Table) WriteText(w io.Writer) error {

@@ -1,0 +1,22 @@
+// Observability instruments for the temporal pipeline: per-frame
+// counters for the policy decisions (range reuse, slew limiting, cut
+// snaps) and last-run flicker gauges, so flicker-policy behaviour is
+// attributable without re-running a clip.
+package video
+
+import "hebs/internal/obs"
+
+var (
+	mSequences   = obs.NewCounter("video.sequences_total")
+	mFrames      = obs.NewCounter("video.frames_total")
+	mRangeReuse  = obs.NewCounter("video.range_reuse_total")
+	mSlewLimited = obs.NewCounter("video.slew_limited_total")
+	mCutSnaps    = obs.NewCounter("video.cut_snaps_total")
+	mCutsFound   = obs.NewCounter("video.cuts_detected_total")
+
+	mFrameLatency = obs.NewHistogram("video.frame.seconds", obs.LatencyBuckets())
+
+	gMeanSaving   = obs.NewGauge("video.last_mean_saving_pct")
+	gMeanAbsDelta = obs.NewGauge("video.last_mean_abs_delta_beta")
+	gMaxAbsDelta  = obs.NewGauge("video.last_max_abs_delta_beta")
+)

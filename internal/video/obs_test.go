@@ -1,0 +1,77 @@
+package video
+
+import (
+	"testing"
+
+	"hebs/internal/core"
+	"hebs/internal/obs"
+	"hebs/internal/sipi"
+)
+
+// TestProcessEmitsPerFrameSpans verifies the per-frame span timeline:
+// one video.frame child per frame under the video.Process root, each
+// holding its core.Process run, annotated with the policy decision.
+func TestProcessEmitsPerFrameSpans(t *testing.T) {
+	c := obs.NewCollector()
+	prev := obs.SetSink(c)
+	defer obs.SetSink(prev)
+
+	img, err := sipi.Generate("autumn", 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Pan(img, 32, 32, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Process(seq, Policy{
+		MaxStep: 0.02,
+		Options: core.Options{DynamicRange: 150},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var rootID uint64
+	for _, s := range c.Spans() {
+		if s.Name == "video.Process" {
+			rootID = s.ID
+			if s.Attrs["frames"] != 4 {
+				t.Errorf("root attrs = %v, want frames=4", s.Attrs)
+			}
+		}
+	}
+	if rootID == 0 {
+		t.Fatal("no video.Process span")
+	}
+	frameSpans := map[int]obs.SpanData{}
+	for _, s := range c.Spans() {
+		if s.Name != "video.frame" {
+			continue
+		}
+		if s.Parent != rootID {
+			t.Errorf("frame span parented under %d, want root %d", s.Parent, rootID)
+		}
+		idx, ok := s.Attrs["frame"].(int)
+		if !ok {
+			t.Fatalf("frame span lacks frame attr: %v", s.Attrs)
+		}
+		frameSpans[idx] = s
+		if _, ok := s.Attrs["applied_beta"]; !ok {
+			t.Errorf("frame %d missing applied_beta attr: %v", idx, s.Attrs)
+		}
+	}
+	if len(frameSpans) != 4 {
+		t.Fatalf("got %d frame spans, want 4", len(frameSpans))
+	}
+	// Each frame owns at least one nested pipeline run.
+	runsByParent := map[uint64]int{}
+	for _, s := range c.Spans() {
+		if s.Name == "core.Process" {
+			runsByParent[s.Parent]++
+		}
+	}
+	for idx, fs := range frameSpans {
+		if runsByParent[fs.ID] == 0 {
+			t.Errorf("frame %d has no nested core.Process run", idx)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hebs/internal/histogram"
+	"hebs/internal/obs"
 )
 
 // DefaultCutDistance is the earth-mover's distance (in grayscale
@@ -30,6 +31,9 @@ func DetectCuts(seq *Sequence, threshold float64) ([]int, error) {
 	if threshold <= 0 {
 		threshold = DefaultCutDistance
 	}
+	sp := obs.StartSpan("video.DetectCuts")
+	defer sp.End()
+	sp.SetInt("frames", len(seq.Frames))
 	// A fairly fast EMA keeps the reference current within a scene.
 	est, err := histogram.NewEstimator(0.4)
 	if err != nil {
@@ -60,6 +64,8 @@ func DetectCuts(seq *Sequence, threshold float64) ([]int, error) {
 			return nil, err
 		}
 	}
+	sp.SetInt("cuts", len(cuts))
+	mCutsFound.Add(int64(len(cuts)))
 	return cuts, nil
 }
 
@@ -95,6 +101,7 @@ func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*R
 		if err != nil {
 			return err
 		}
+		scenePol.frameOffset = start
 		r, err := Process(sub, scenePol)
 		if err != nil {
 			return fmt.Errorf("video: scene at frame %d: %w", start, err)

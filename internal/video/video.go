@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"image"
 	"math"
+	"time"
 
 	"hebs/internal/core"
 	"hebs/internal/gray"
@@ -124,6 +125,10 @@ type Policy struct {
 	// HEBS options applied per frame. DynamicRange/budget semantics as
 	// in core.Options.
 	Options core.Options
+	// frameOffset shifts the frame indices reported on observability
+	// spans; ProcessWithCutDetection sets it so scene-local runs still
+	// report clip-global frame numbers.
+	frameOffset int
 }
 
 // FrameResult records one processed frame.
@@ -169,6 +174,10 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 	if pol.Options.Subsystem != nil {
 		sub = *pol.Options.Subsystem
 	}
+	sp := pol.Options.Trace.Child("video.Process")
+	defer sp.End()
+	sp.SetInt("frames", len(seq.Frames))
+	mSequences.Inc()
 	res := &Result{}
 	prevBeta := math.NaN()
 	prevRange := 0
@@ -180,29 +189,38 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 			return nil, err
 		}
 	}
-	for i, frame := range seq.Frames {
+	processFrame := func(i int, frame *gray.Image) (FrameResult, error) {
+		start := time.Now()
+		fsp := sp.Child("video.frame")
+		defer fsp.End()
+		fsp.SetInt("frame", pol.frameOffset+i)
+		defer func() { mFrameLatency.ObserveDuration(time.Since(start)) }()
+		mFrames.Inc()
 		opts := pol.Options
+		opts.Trace = fsp // attribute the pipeline run to this frame
 		if est != nil {
 			h := histogram.Of(frame)
 			if est.Ready() && prevRange > 0 {
 				d, err := est.Distance(h)
 				if err != nil {
-					return nil, err
+					return FrameResult{}, err
 				}
 				if d < pol.ReuseThreshold {
 					// Static scene: skip the range search, keep the
 					// previous admissible range.
 					opts.DynamicRange = prevRange
 					opts.MaxDistortionPercent = 0
+					fsp.SetBool("range_reused", true)
+					mRangeReuse.Inc()
 				}
 			}
 			if err := est.Observe(h); err != nil {
-				return nil, err
+				return FrameResult{}, err
 			}
 		}
 		r, err := core.Process(frame, opts)
 		if err != nil {
-			return nil, fmt.Errorf("video: frame %d: %w", i, err)
+			return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
 		}
 		prevRange = r.Range
 		target := r.Beta
@@ -216,21 +234,28 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 			if delta < -pol.MaxStep && !isCut {
 				applied = prevBeta - pol.MaxStep
 			}
+			if isCut {
+				fsp.SetBool("cut_snap", true)
+				mCutSnaps.Inc()
+			}
 		}
 		fr := FrameResult{TargetBeta: target, Beta: applied}
 		if applied != target {
 			// Re-run the pipeline at the applied range so the image is
 			// transformed consistently with the actual backlight.
+			fsp.SetBool("slew_limited", true)
+			mSlewLimited.Inc()
 			rng, err := power.RangeForBeta(applied, transform.Levels)
 			if err != nil {
-				return nil, err
+				return FrameResult{}, err
 			}
 			opts := pol.Options
+			opts.Trace = fsp
 			opts.DynamicRange = rng
 			opts.MaxDistortionPercent = 0
 			r, err = core.Process(frame, opts)
 			if err != nil {
-				return nil, fmt.Errorf("video: frame %d (smoothed): %w", i, err)
+				return FrameResult{}, fmt.Errorf("video: frame %d (smoothed): %w", i, err)
 			}
 		}
 		fr.Range = r.Range
@@ -238,9 +263,20 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 		fr.Distortion = r.AchievedDistortion
 		saving, err := sub.SavingPercent(frame, r.Transformed, r.Beta)
 		if err != nil {
-			return nil, err
+			return FrameResult{}, err
 		}
 		fr.SavingPercent = saving
+		fsp.SetFloat("target_beta", fr.TargetBeta)
+		fsp.SetFloat("applied_beta", fr.Beta)
+		fsp.SetInt("range", fr.Range)
+		fsp.SetFloat("saving_pct", fr.SavingPercent)
+		return fr, nil
+	}
+	for i, frame := range seq.Frames {
+		fr, err := processFrame(i, frame)
+		if err != nil {
+			return nil, err
+		}
 		res.Frames = append(res.Frames, fr)
 		prevBeta = fr.Beta
 	}
@@ -261,5 +297,8 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 		res.MeanAbsDeltaBeta = sumDelta / float64(len(res.Frames)-1)
 	}
 	res.MaxAbsDeltaBeta = maxDelta
+	gMeanSaving.Set(res.MeanSaving)
+	gMeanAbsDelta.Set(res.MeanAbsDeltaBeta)
+	gMaxAbsDelta.Set(res.MaxAbsDeltaBeta)
 	return res, nil
 }
