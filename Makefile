@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build verify check bench bench-guard clean
+# Per-target budget for fuzz-smoke (native Go fuzzing).
+FUZZTIME ?= 5s
+
+.PHONY: all build verify check lint fuzz-smoke bench bench-guard clean
 
 all: build
 
@@ -11,10 +14,38 @@ build:
 verify:
 	$(GO) build ./... && $(GO) test ./...
 
-# Full hygiene pass: vet + race-enabled tests across the module.
+# Full hygiene pass: formatting, vet, race-enabled tests, the
+# paper-invariant assertion build (hebscheck), and the project linters.
 check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -tags hebscheck ./...
+	$(MAKE) lint
+
+# hebslint: the project's own static analyzers (spanend, floateq,
+# errdrop) over the whole module.
+lint:
+	$(GO) run ./cmd/hebslint -C .
+
+# Bounded native-fuzzing pass over every fuzz target, with the
+# invariant assertions compiled in so violations fail loudly. Seed
+# corpora live in each package's testdata/fuzz/<Target>/.
+FUZZ_TARGETS := \
+	FuzzSolveRange:./internal/equalize \
+	FuzzCoarsen:./internal/plc \
+	FuzzDetectCuts:./internal/video \
+	FuzzDecodePNM:./internal/imageio \
+	FuzzEncodeDecodePGM:./internal/imageio
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		name=$${t%%:*}; pkg=$${t##*:}; \
+		echo "== fuzz $$name ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -tags hebscheck -run='^$$' -fuzz="^$$name$$" \
+			-fuzztime=$(FUZZTIME) $$pkg; \
+	done
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -112,7 +112,7 @@ func run(args []string, out io.Writer) (err error) {
 				return err
 			}
 			if err := tb.WriteCSV(f); err != nil {
-				f.Close()
+				_ = f.Close() // the write error takes precedence
 				return err
 			}
 			if err := f.Close(); err != nil {
@@ -243,7 +243,7 @@ func run(args []string, out io.Writer) (err error) {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
-			f.Close()
+			_ = f.Close() // the encode error takes precedence
 			return err
 		}
 		if err := f.Close(); err != nil {

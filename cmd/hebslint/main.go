@@ -1,0 +1,106 @@
+// Command hebslint runs the repo's custom static-analysis suite over
+// the whole module: spanend (obs span lifecycle), floateq (exact
+// float comparisons) and errdrop (discarded error returns). It is the
+// multichecker behind `make lint`.
+//
+// Usage:
+//
+//	hebslint [-C dir] [-analyzers spanend,floateq,errdrop] [-v]
+//
+// Diagnostics print as file:line:col: message (analyzer), one per
+// line, and the exit status is 1 when any diagnostic survives the
+// //hebslint:allow directives, 2 on loader or type-check failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hebs/internal/analysis"
+	"hebs/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hebslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "directory inside the module to lint (the whole module is analyzed)")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	verbose := fs.Bool("v", false, "list analyzed packages")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: hebslint [flags]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(stderr, "  %-8s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *names != "" {
+		var ok bool
+		suite, ok = analyzers.ByName(strings.Split(*names, ","))
+		if !ok {
+			fmt.Fprintf(stderr, "hebslint: unknown analyzer in %q\n", *names)
+			return 2
+		}
+	}
+
+	root, err := analysis.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "hebslint: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "hebslint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(stderr, "hebslint: %v\n", err)
+		return 2
+	}
+
+	exit := 0
+	total := 0
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "hebslint: %s: %v\n", pkg.Path, terr)
+			}
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintf(stderr, "hebslint: analyzing %s\n", pkg.Path)
+		}
+		diags, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fmt.Fprintf(stderr, "hebslint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := d.Pos
+			if rel, err := filepath.Rel(root, pos.Filename); err == nil {
+				pos.Filename = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+			total++
+			exit = 1
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "hebslint: %d finding(s) in %d package(s)\n", total, len(pkgs))
+	}
+	return exit
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestModuleIsLintClean is the acceptance gate: the suite must run
+// clean over the whole module (intentional sentinels carry
+// //hebslint:allow directives).
+func TestModuleIsLintClean(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", "."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("hebslint exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("expected no diagnostics, got:\n%s", stdout.String())
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-analyzers", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+func TestAnalyzerSubsetRuns(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-C", ".", "-analyzers", "floateq"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("floateq-only run: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

@@ -48,6 +48,7 @@ func main() {
 	fmt.Println("frame   target β  applied β  saving%")
 	for i, f := range smooth.Frames {
 		marker := ""
+		//hebslint:allow floateq applied β is copied from target unless slew-limited
 		if f.Beta != f.TargetBeta {
 			marker = "  <- slew-limited"
 		}

@@ -1,0 +1,175 @@
+// Package analysis is a self-contained, standard-library-only
+// reimplementation of the core of golang.org/x/tools/go/analysis: an
+// Analyzer/Pass/Diagnostic vocabulary plus a module-aware package
+// loader (see load.go). The x/tools module is deliberately not a
+// dependency — this repo builds offline — so hebslint's analyzers
+// program against this package instead. The surface mirrors the
+// upstream API closely enough that an analyzer body could be ported
+// to the real framework by changing only its imports.
+//
+// Suppression: a diagnostic is dropped when the line it points at, or
+// the line immediately above, carries a comment of the form
+//
+//	//hebslint:allow <analyzer-name> [rationale...]
+//
+// The rationale is free text; the directive applies to exactly one
+// analyzer per comment (repeat the comment to allow several).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check. Run inspects a single package
+// via the Pass and reports findings through pass.Report/Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //hebslint:allow directives. Must be a valid identifier.
+	Name string
+	// Doc is the one-paragraph description shown by hebslint -help.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work, mirroring
+// x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives diagnostics that survived directive filtering.
+	report func(Diagnostic)
+	// allow maps "file:line" to the set of analyzer names allowed
+	// there, built once per package from //hebslint:allow comments.
+	allow map[string]map[string]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Reportf reports a finding at pos unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowedAt(position) {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowedAt reports whether an allow directive for this pass's
+// analyzer covers the diagnostic's line (same line or the line above).
+func (p *Pass) allowedAt(pos token.Position) bool {
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names, ok := p.allow[allowKey(pos.Filename, line)]; ok && names[p.Analyzer.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+func allowKey(file string, line int) string {
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// buildAllowIndex scans every comment in the package for
+// //hebslint:allow directives.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) map[string]map[string]bool {
+	idx := make(map[string]map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllowDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := allowKey(pos.Filename, pos.Line)
+				if idx[key] == nil {
+					idx[key] = make(map[string]bool)
+				}
+				idx[key][name] = true
+			}
+		}
+	}
+	return idx
+}
+
+// parseAllowDirective extracts the analyzer name from a
+// "//hebslint:allow name rationale..." comment.
+func parseAllowDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//hebslint:allow")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics in source order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report:    func(d Diagnostic) { diags = append(diags, d) },
+			allow:     allow,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// sortDiagnostics orders by file, then line, then column, then
+// analyzer name, so output is deterministic across runs.
+func sortDiagnostics(diags []Diagnostic) {
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && diagLess(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}
+
+func diagLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Analyzer < b.Analyzer
+}

@@ -1,0 +1,155 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-repo
+// analysis framework.
+//
+// Fixtures live at <testdata>/src/<pkgname>/ and are ordinary Go
+// packages (they may import module-internal packages such as
+// hebs/internal/obs). A line expecting a diagnostic carries a comment
+//
+//	// want `regexp`
+//
+// with one or more double- or back-quoted regular expressions; each
+// diagnostic reported on that line must match one of them, every
+// expectation must be matched exactly once, and any unexpected
+// diagnostic fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hebs/internal/analysis"
+)
+
+// expectation is one pending // want regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkgname> relative to dir, applies the
+// analyzer, and verifies its diagnostics against the fixture's want
+// comments. It returns the surviving diagnostics for extra assertions.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgname string) []analysis.Diagnostic {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fixtureDir := filepath.Join(dir, "src", pkgname)
+	pkg, err := loader.LoadDir(fixtureDir, pkgname)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", fixtureDir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("analysistest: fixture %s has type errors: %v", pkgname, pkg.TypeErrors)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	expects, err := collectExpectations(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, d := range diags {
+		if !consume(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+	return diags
+}
+
+// consume marks the first unmatched expectation covering d.
+func consume(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.line != d.Pos.Line || e.file != d.Pos.Filename {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectExpectations extracts want comments from every fixture file.
+func collectExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, ok, err := parseWant(c.Text)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					return nil, fmt.Errorf("%s: %v", pos, err)
+				}
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, p, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseWant parses `// want "p1" `+"`p2`"+` ...` comments.
+func parseWant(text string) ([]string, bool, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, false, nil // block comments are not want carriers
+	}
+	body = strings.TrimSpace(body)
+	rest, ok := strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil, false, nil
+	}
+	var patterns []string
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var quote byte = rest[0]
+		if quote != '"' && quote != '`' {
+			return nil, false, fmt.Errorf("want pattern must be quoted, got %q", rest)
+		}
+		end := strings.IndexByte(rest[1:], quote)
+		if end < 0 {
+			return nil, false, fmt.Errorf("unterminated want pattern in %q", rest)
+		}
+		raw := rest[:end+2]
+		p, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, false, fmt.Errorf("bad want pattern %s: %v", raw, err)
+		}
+		patterns = append(patterns, p)
+		rest = strings.TrimSpace(rest[end+2:])
+	}
+	if len(patterns) == 0 {
+		return nil, false, fmt.Errorf("want comment with no patterns")
+	}
+	return patterns, true, nil
+}

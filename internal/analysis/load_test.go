@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"testing"
+)
+
+func newModuleLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+func TestLoaderResolvesModuleAndStdlibImports(t *testing.T) {
+	l := newModuleLoader(t)
+	if l.Module != "hebs" {
+		t.Fatalf("module = %q, want hebs", l.Module)
+	}
+	// plc imports both stdlib (math, time) and module-internal
+	// packages (obs, transform), exercising both importer paths.
+	pkg, err := l.load("hebs/internal/plc")
+	if err != nil {
+		t.Fatalf("load plc: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("type errors: %v", pkg.TypeErrors)
+	}
+	if pkg.Types.Scope().Lookup("Coarsen") == nil {
+		t.Fatalf("plc.Coarsen not found in %s", pkg.Path)
+	}
+	// Types must be recorded for expressions: find one CallExpr with a
+	// recorded type.
+	found := false
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if _, ok := pkg.Info.Types[c.Fun]; ok {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	if !found {
+		t.Fatal("no typed call expressions recorded")
+	}
+	// Loading again returns the cached package.
+	again, err := l.load("hebs/internal/plc")
+	if err != nil {
+		t.Fatalf("reload plc: %v", err)
+	}
+	if again != pkg {
+		t.Fatal("second load did not hit the cache")
+	}
+}
+
+func TestParseAllowDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		name string
+		ok   bool
+	}{
+		{"//hebslint:allow floateq sentinel compare", "floateq", true},
+		{"//hebslint:allow errdrop", "errdrop", true},
+		{"//hebslint:allow", "", false},
+		{"// hebslint:allow floateq", "", false},
+		{"//hebslint:allowfloateq", "", false},
+		{"// ordinary comment", "", false},
+	}
+	for _, c := range cases {
+		name, ok := parseAllowDirective(c.text)
+		if ok != c.ok || name != c.name {
+			t.Errorf("parseAllowDirective(%q) = %q,%v want %q,%v", c.text, name, ok, c.name, c.ok)
+		}
+	}
+}

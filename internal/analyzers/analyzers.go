@@ -1,0 +1,38 @@
+// Package analyzers registers the hebslint analyzer suite. Each
+// analyzer lives in its own subpackage with analysistest fixtures;
+// this package is the single list drivers consume.
+package analyzers
+
+import (
+	"hebs/internal/analysis"
+	"hebs/internal/analyzers/errdrop"
+	"hebs/internal/analyzers/floateq"
+	"hebs/internal/analyzers/spanend"
+)
+
+// All returns the full hebslint suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errdrop.Analyzer,
+		floateq.Analyzer,
+		spanend.Analyzer,
+	}
+}
+
+// ByName returns the named subset of the suite, or nil with false if
+// any name is unknown.
+func ByName(names []string) ([]*analysis.Analyzer, bool) {
+	byName := make(map[string]*analysis.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a, ok := byName[n]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}

@@ -1,0 +1,132 @@
+// Package errdrop defines an analyzer flagging call statements that
+// silently discard an error result — the classic `f.Close()` /
+// `enc.Encode(v)` drop — in cmd/ and internal/ code. Examples are
+// exempt (they are narrative, not production paths).
+//
+// Following errcheck's conventions:
+//
+//   - an explicit `_ = f()` or `v, _ := f()` assignment is treated as a
+//     deliberate, visible discard and is not flagged;
+//   - the fmt print family and the never-failing in-memory writers
+//     (*bytes.Buffer, *strings.Builder) are excluded;
+//   - anything else is silenced case-by-case with a
+//     //hebslint:allow errdrop directive.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"hebs/internal/analysis"
+)
+
+// Analyzer is the errdrop check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flag statements that discard an error result (assign it, handle it, or allowlist the call)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && strings.HasPrefix(pass.Pkg.Path(), "hebs/examples") {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.DeferStmt:
+				call = s.Call
+			case *ast.GoStmt:
+				call = s.Call
+			default:
+				return true
+			}
+			if !returnsError(pass, call, errType) || excluded(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s contains an error that is discarded", calleeName(pass, call))
+			return true
+		})
+	}
+	return nil
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr, errType types.Type) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errType)
+	}
+}
+
+// excluded reports whether the callee is on the never-fails allowlist.
+func excluded(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		// Calls through function values or unresolved callees are not
+		// excludable by identity; keep flagging them.
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		// Only the print family returns errors in fmt, and those are
+		// conventionally ignored.
+		return true
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil {
+				full := obj.Pkg().Path() + "." + obj.Name()
+				if full == "bytes.Buffer" || full == "strings.Builder" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called *types.Func, nil for indirect calls.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// calleeName renders a readable callee for the diagnostic.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.FullName()
+	}
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,15 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", errdrop.Analyzer, "errdroptest")
+	if len(diags) != 6 {
+		t.Fatalf("got %d diagnostics, want 6", len(diags))
+	}
+}

@@ -1,0 +1,57 @@
+// Fixture for the errdrop analyzer: dropped errors, deliberate
+// discards, excluded callees, and an allowlisted drop.
+package errdroptest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fails() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func truePositives(f closer) {
+	fails()         // want `result of errdroptest.fails contains an error that is discarded`
+	pair()          // want `result of errdroptest.pair contains an error that is discarded`
+	defer fails()   // want `result of errdroptest.fails contains an error that is discarded`
+	go fails()      // want `result of errdroptest.fails contains an error that is discarded`
+	defer f.Close() // want `Close.* discarded`
+}
+
+func deliberateDiscards() {
+	_ = fails()
+	n, _ := pair()
+	_ = n
+	if err := fails(); err != nil {
+		panic(err)
+	}
+}
+
+func excludedCallees(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("ok")
+	fmt.Fprintf(os.Stderr, "ok %d\n", 1)
+	buf.WriteString("ok")
+	sb.WriteByte('x')
+}
+
+func allowlisted() {
+	fails() //hebslint:allow errdrop fire-and-forget in fixture
+	//hebslint:allow errdrop line-above form
+	fails()
+}
+
+func indirect(g func() error) {
+	g() // want `result of g contains an error that is discarded`
+}
+
+func noError() {
+	println("builtins and void calls are fine")
+}

@@ -1,0 +1,15 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", floateq.Analyzer, "floateqtest")
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+}

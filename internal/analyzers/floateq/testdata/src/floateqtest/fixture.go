@@ -1,0 +1,42 @@
+// Fixture for the floateq analyzer: true positives, exempt idioms,
+// and an allowlisted sentinel.
+package floateqtest
+
+import "math"
+
+const unreached = math.MaxFloat64
+
+func truePositives(a, b float64, c float32) bool {
+	if a == b { // want `floating-point == comparison`
+		return true
+	}
+	if c != 2.5 { // want `floating-point != comparison`
+		return true
+	}
+	return a != b+1 // want `floating-point != comparison`
+}
+
+func zeroSentinelExempt(budget float64) bool {
+	// The "option unset" idiom: comparing against the exact zero value
+	// is allowed without a directive.
+	if budget == 0 {
+		return false
+	}
+	return budget != 0.0
+}
+
+func nanCheckExempt(x float64) bool {
+	return x != x
+}
+
+func intCompareExempt(a, b int) bool {
+	return a == b
+}
+
+func allowlistedSentinel(dp []float64) bool {
+	//hebslint:allow floateq MaxFloat64 is an exact "unreached" marker
+	if dp[0] == unreached {
+		return true
+	}
+	return dp[1] == unreached //hebslint:allow floateq same sentinel, same-line form
+}

@@ -1,0 +1,387 @@
+// Package spanend defines an analyzer enforcing the obs span
+// lifecycle: every span opened in a function (obs.StartSpan or
+// Span.Child) must be ended on all paths out of that function. An
+// unended span never reaches the sink, which silently skews every
+// latency histogram derived from the trace — the bug class PR 1's
+// tracing layer introduced.
+//
+// The check is intraprocedural and conservative:
+//
+//   - a span variable whose value escapes the function (returned,
+//     passed as an argument, stored in a struct or captured by a
+//     non-deferred closure) is assumed to be ended by its new owner
+//     and is not checked;
+//   - `defer sp.End()` (directly or in a deferred closure) always
+//     satisfies the check;
+//   - a plain `sp.End()` satisfies it only when it is a sibling
+//     statement of the span's creation with no return or branch
+//     statement in between — an End nested in a conditional, or
+//     preceded by an early return, is reported as not covering all
+//     paths.
+//
+// Intentional leaks (spans handed to background goroutines and ended
+// there) are silenced with //hebslint:allow spanend.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hebs/internal/analysis"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every obs span started in a function must be ended on all paths (prefer defer sp.End())",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// candidate is one span variable created at this function's level.
+type candidate struct {
+	obj   types.Object
+	name  string
+	pos   token.Pos
+	list  []ast.Stmt // the statement list containing the creation
+	index int        // creation's index in list
+
+	escaped     bool
+	deferredEnd bool
+	endStmts    []ast.Stmt // non-deferred `sp.End()` ExprStmts
+}
+
+// checkBody analyzes one function body. Span variables created inside
+// nested function literals belong to that literal's own checkBody
+// pass; uses inside nested literals still count against this body's
+// candidates (captures).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	cands := collectCandidates(pass, body)
+	if len(cands) == 0 {
+		return
+	}
+	parents := buildParents(body)
+	classifyUses(pass, body, cands, parents)
+	for _, c := range cands {
+		if c.escaped || c.deferredEnd {
+			continue
+		}
+		if len(c.endStmts) == 0 {
+			pass.Reportf(c.pos, "span %q is started but never ended", c.name)
+			continue
+		}
+		covered := false
+		for _, end := range c.endStmts {
+			if endCoversAllPaths(c, end, parents) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(c.pos, "span %q is not ended on all paths (end it with defer %s.End())", c.name, c.name)
+		}
+	}
+}
+
+// collectCandidates finds span-creating assignments in the statement
+// lists of this body, not descending into nested function literals.
+func collectCandidates(pass *analysis.Pass, body *ast.BlockStmt) []*candidate {
+	byObj := make(map[types.Object]*candidate)
+	var out []*candidate
+	add := func(obj types.Object, name string, pos token.Pos, list []ast.Stmt, index int) {
+		if obj == nil || name == "_" {
+			return
+		}
+		if prev, ok := byObj[obj]; ok {
+			// Reassignment of a span variable: give up on both uses
+			// rather than mis-attribute an End call.
+			prev.escaped = true
+			return
+		}
+		c := &candidate{obj: obj, name: name, pos: pos, list: list, index: index}
+		byObj[obj] = c
+		out = append(out, c)
+	}
+	var scanList func(list []ast.Stmt)
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.FuncLit:
+				return false // its own checkBody pass handles it
+			case *ast.BlockStmt:
+				scanList(s.List)
+			case *ast.CaseClause:
+				scanList(s.Body)
+			case *ast.CommClause:
+				scanList(s.Body)
+			}
+			return true
+		})
+	}
+	scanList = func(list []ast.Stmt) {
+		for i, stmt := range list {
+			switch s := stmt.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !isSpanCreatingCall(pass, s.Rhs[0]) {
+					continue
+				}
+				id, ok := s.Lhs[0].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				add(obj, id.Name, id.Pos(), list, i)
+			case *ast.DeclStmt:
+				gd, ok := s.Decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 || !isSpanCreatingCall(pass, vs.Values[0]) {
+						continue
+					}
+					add(pass.TypesInfo.Defs[vs.Names[0]], vs.Names[0].Name, vs.Names[0].Pos(), list, i)
+				}
+			}
+		}
+	}
+	scan(body)
+	return out
+}
+
+// classifyUses walks the whole body (nested literals included) and
+// fills in each candidate's end/escape state.
+func classifyUses(pass *analysis.Pass, body *ast.BlockStmt, cands []*candidate, parents map[ast.Node]ast.Node) {
+	byObj := make(map[types.Object]*candidate, len(cands))
+	for _, c := range cands {
+		byObj[c.obj] = c
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		c, ok := byObj[pass.TypesInfo.Uses[id]]
+		if !ok {
+			return true
+		}
+		sel, ok := parents[id].(*ast.SelectorExpr)
+		if !ok || sel.X != id {
+			c.escaped = true
+			return true
+		}
+		call, ok := parents[sel].(*ast.CallExpr)
+		if !ok || call.Fun != sel {
+			// Method value (sp.End handed off) or field access: escape.
+			c.escaped = true
+			return true
+		}
+		if !isSpanMethod(pass, sel) {
+			c.escaped = true
+			return true
+		}
+		if sel.Sel.Name != "End" {
+			return true // SetInt/SetFloat/Child/…: benign annotation use
+		}
+		if isDeferred(call, parents) {
+			c.deferredEnd = true
+			return true
+		}
+		if stmt, ok := parents[call].(*ast.ExprStmt); ok {
+			c.endStmts = append(c.endStmts, stmt)
+		} else {
+			c.escaped = true
+		}
+		return true
+	})
+}
+
+// endCoversAllPaths reports whether the plain End statement is a
+// sibling of the creation with no escape hatch in between.
+func endCoversAllPaths(c *candidate, end ast.Stmt, parents map[ast.Node]ast.Node) bool {
+	endIdx := -1
+	for i, s := range c.list {
+		if s == end {
+			endIdx = i
+			break
+		}
+	}
+	if endIdx <= c.index {
+		return false
+	}
+	for _, s := range c.list[c.index+1 : endIdx] {
+		if containsEscapeStmt(s, parents) {
+			return false
+		}
+	}
+	return true
+}
+
+// containsEscapeStmt reports whether s contains a statement that can
+// leave s early: a return, a goto or labeled branch, or an unlabeled
+// break/continue whose target construct is outside s. A continue
+// swallowed by a loop inside s (the PLC dynamic program's skip of
+// unreachable dp states, say) stays inside s and is not an escape.
+func containsEscapeStmt(s ast.Stmt, parents map[ast.Node]ast.Node) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if branchEscapes(b, s, parents) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// branchEscapes reports whether the branch statement can transfer
+// control outside limit.
+func branchEscapes(b *ast.BranchStmt, limit ast.Stmt, parents map[ast.Node]ast.Node) bool {
+	if b.Label != nil || b.Tok == token.GOTO {
+		return true // label targets are out of scope for this check
+	}
+	if b.Tok == token.FALLTHROUGH {
+		return false // always caught by its own switch
+	}
+	// Unlabeled break/continue: walk up to the first construct that
+	// catches it; escape only if none lies within limit (limit itself
+	// included — a loop statement catches its own break/continue).
+	for n := ast.Node(b); n != nil; n = parents[n] {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // catches both break and continue
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if b.Tok == token.BREAK {
+				return false
+			}
+		}
+		if n == limit {
+			break
+		}
+	}
+	return true
+}
+
+// isDeferred reports whether the call runs under a defer: either
+// `defer sp.End()` or `defer func() { …; sp.End(); … }()`.
+func isDeferred(call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	for n := ast.Node(call); n != nil; n = parents[n] {
+		switch p := parents[n].(type) {
+		case *ast.DeferStmt:
+			if p.Call == n {
+				return true
+			}
+		case *ast.CallExpr:
+			// A function literal immediately invoked by a defer.
+			if fl, ok := n.(*ast.FuncLit); ok && p.Fun == fl {
+				if ds, ok := parents[p].(*ast.DeferStmt); ok && ds.Call == p {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isSpanCreatingCall recognizes obs.StartSpan(...) and
+// (*obs.Span).Child(...) calls.
+func isSpanCreatingCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.TypesInfo.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil || !isObsPackage(fn.Pkg()) {
+		return false
+	}
+	switch fn.Name() {
+	case "StartSpan":
+		return fn.Type().(*types.Signature).Recv() == nil
+	case "Child":
+		return recvIsSpan(fn)
+	}
+	return false
+}
+
+// isSpanMethod reports whether the selection resolves to a method on
+// obs.Span.
+func isSpanMethod(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && isObsPackage(fn.Pkg()) && recvIsSpan(fn)
+}
+
+func recvIsSpan(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+func isObsPackage(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "hebs/internal/obs" || strings.HasSuffix(pkg.Path(), "/internal/obs")
+}
+
+// buildParents records each node's parent within root.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

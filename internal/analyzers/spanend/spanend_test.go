@@ -1,0 +1,15 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", spanend.Analyzer, "spanendtest")
+	if len(diags) != 6 {
+		t.Fatalf("got %d diagnostics, want 6", len(diags))
+	}
+}

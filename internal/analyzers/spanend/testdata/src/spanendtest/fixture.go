@@ -1,0 +1,95 @@
+// Fixture for the spanend analyzer: leaked spans, conditional ends,
+// the blessed defer pattern, escapes, and an allowlisted leak.
+package spanendtest
+
+import "hebs/internal/obs"
+
+func missingEnd() {
+	sp := obs.StartSpan("work") // want `span "sp" is started but never ended`
+	sp.SetInt("k", 1)
+}
+
+func missingEndVarDecl() {
+	var sp = obs.StartSpan("work") // want `span "sp" is started but never ended`
+	sp.SetInt("k", 1)
+}
+
+func conditionalEnd(b bool) {
+	sp := obs.StartSpan("work") // want `span "sp" is not ended on all paths`
+	if b {
+		sp.End()
+	}
+}
+
+func endAfterEarlyReturn(b bool) {
+	sp := obs.StartSpan("work") // want `span "sp" is not ended on all paths`
+	if b {
+		return
+	}
+	sp.End()
+}
+
+func deferEnd() {
+	sp := obs.StartSpan("work")
+	defer sp.End()
+	sp.SetBool("ok", true)
+}
+
+func deferredClosureEnd() {
+	sp := obs.StartSpan("work")
+	defer func() {
+		sp.SetBool("done", true)
+		sp.End()
+	}()
+}
+
+func explicitEndSameBlock() {
+	sp := obs.StartSpan("work")
+	sp.SetInt("k", 2)
+	sp.End()
+}
+
+func childSpans(parent *obs.Span) {
+	sp := parent.Child("phase")
+	defer sp.End()
+	inner := sp.Child("subphase") // want `span "inner" is started but never ended`
+	inner.SetInt("k", 3)
+}
+
+func escapesByReturn() *obs.Span {
+	sp := obs.StartSpan("handed-off")
+	return sp
+}
+
+func takeOwnership(sp *obs.Span) { sp.End() }
+
+func escapesAsArgument() {
+	sp := obs.StartSpan("handed-off")
+	takeOwnership(sp)
+}
+
+func loopBetweenCreationAndEndIsFine(xs []int) {
+	sp := obs.StartSpan("work")
+	for _, x := range xs {
+		if x < 0 {
+			continue // caught by the loop: does not leave the function
+		}
+		sp.SetInt("x", x)
+	}
+	sp.End()
+}
+
+func breakPastEndEscapes(xs []int) {
+	for range xs {
+		sp := obs.StartSpan("iter") // want `span "sp" is not ended on all paths`
+		if len(xs) > 3 {
+			break // leaves the iteration before End
+		}
+		sp.End()
+	}
+}
+
+func allowlistedLeak() {
+	sp := obs.StartSpan("fire-and-forget") //hebslint:allow spanend ended by the background drainer
+	sp.SetInt("k", 4)
+}

@@ -100,6 +100,6 @@ func LoadJSON(path string) (*Curve, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //hebslint:allow errdrop read-only file, nothing to lose on close
 	return ReadJSON(f)
 }

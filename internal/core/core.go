@@ -25,6 +25,7 @@ import (
 	"hebs/internal/equalize"
 	"hebs/internal/gray"
 	"hebs/internal/histogram"
+	"hebs/internal/invariant"
 	"hebs/internal/obs"
 	"hebs/internal/plc"
 	"hebs/internal/power"
@@ -288,6 +289,13 @@ func planFromHistogram(parent *obs.Span, h *histogram.Histogram, r, segments int
 	beta, err := power.BetaForRange(r, transform.Levels)
 	if err != nil {
 		return nil, err
+	}
+	if invariant.Enabled {
+		// Section 3: the admissible range stays within [1, G−1] and the
+		// backlight dimming factor β = R/(G−1) is a valid scale in (0,1].
+		invariant.Assert(r >= 1 && r <= transform.Levels-1,
+			"core: admissible range R = %d outside [1, G−1]", r)
+		invariant.AssertBeta("core: β = R/(G−1)", beta)
 	}
 
 	// Step 2: GHE (Eq. 5–7) in the selected variant.

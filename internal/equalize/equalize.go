@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"hebs/internal/histogram"
+	"hebs/internal/invariant"
 	"hebs/internal/obs"
 	"hebs/internal/transform"
 )
@@ -98,6 +99,16 @@ func Solve(h *histogram.Histogram, gmin, gmax int) (*Result, error) {
 		lut[v] = quantize(res.Exact[v])
 	}
 	res.LUT = &lut
+	if invariant.Enabled {
+		// Eq. 5–7: the CDF remap must be monotone, land inside the
+		// target band, and the cumulative histogram must conserve the
+		// image's pixel mass.
+		invariant.AssertMonotone("equalize: Φ (Eq. 7)", res.Exact[:])
+		invariant.AssertInRange("equalize: Φ(0)", res.Exact[0], float64(gmin), float64(gmax))
+		invariant.AssertInRange("equalize: Φ(G−1)", res.Exact[transform.Levels-1], float64(gmin), float64(gmax))
+		invariant.Assert(cdf[transform.Levels-1] == h.N,
+			"equalize: CDF mass %d ≠ N = %d (Eq. 6)", cdf[transform.Levels-1], h.N)
+	}
 	return res, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"math"
 
 	"hebs/internal/histogram"
+	"hebs/internal/invariant"
 	"hebs/internal/transform"
 )
 
@@ -137,6 +138,14 @@ func SolveBBHE(h *histogram.Histogram, gmin, gmax int) (*Result, error) {
 		lut[v] = quantize(res.Exact[v])
 	}
 	res.LUT = &lut
+	if invariant.Enabled {
+		// BBHE is still a monotone remap: each half-band equalization
+		// preserves order and the bands abut at G_m (Eq. 5–7 applied
+		// per sub-histogram).
+		invariant.AssertMonotone("equalize: BBHE Φ", res.Exact[:])
+		invariant.AssertInRange("equalize: BBHE Φ(0)", res.Exact[0], float64(gmin), float64(gmax))
+		invariant.AssertInRange("equalize: BBHE Φ(G−1)", res.Exact[transform.Levels-1], float64(gmin), float64(gmax))
+	}
 	return res, nil
 }
 
@@ -192,5 +201,15 @@ func solveFromWeights(weights []float64, gmin, gmax int) (*Result, error) {
 		lut[v] = quantize(res.Exact[v])
 	}
 	res.LUT = &lut
+	if invariant.Enabled {
+		// The clipped remap runs over a reshaped histogram but must
+		// still be a monotone map into the target band that consumes
+		// the full (clipped + redistributed) mass.
+		invariant.AssertMonotone("equalize: clipped Φ", res.Exact[:])
+		invariant.AssertInRange("equalize: clipped Φ(0)", res.Exact[0], float64(gmin), float64(gmax))
+		invariant.AssertInRange("equalize: clipped Φ(G−1)", res.Exact[transform.Levels-1], float64(gmin), float64(gmax))
+		invariant.Assert(math.Abs(cum-total) <= 1e-6*total,
+			"equalize: clipped mass %v ≠ %v", cum, total)
+	}
 	return res, nil
 }

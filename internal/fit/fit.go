@@ -171,6 +171,7 @@ func NewLinear(pts []Point) (*Linear, error) {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
 	dedup := sorted[:1]
 	for _, p := range sorted[1:] {
+		//hebslint:allow floateq deduplicating exactly repeated X values
 		if p.X == dedup[len(dedup)-1].X {
 			dedup[len(dedup)-1] = p
 			continue
@@ -302,6 +303,7 @@ func Pearson(xs, ys []float64) (float64, error) {
 // LineThrough returns slope and intercept of the line through (x1,y1)
 // and (x2,y2). It returns an error for a vertical line.
 func LineThrough(x1, y1, x2, y2 float64) (slope, intercept float64, err error) {
+	//hebslint:allow floateq exact guard against division by zero
 	if x1 == x2 {
 		return 0, 0, errors.New("fit: vertical line")
 	}

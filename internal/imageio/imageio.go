@@ -232,7 +232,7 @@ func Load(path string) (*gray.Image, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //hebslint:allow errdrop read-only file, nothing to lose on close
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".pgm", ".ppm", ".pnm":
 		return DecodePNM(f)

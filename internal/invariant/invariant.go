@@ -1,0 +1,75 @@
+//go:build hebscheck
+
+// Package invariant is the paper-invariant assertion layer: runtime
+// checks for the mathematical properties the HEBS pipeline's
+// correctness rests on but the compiler cannot see — Φ and Λ monotone
+// (Eq. 5–7, 9), β ∈ (0,1], histogram mass conserved, the PLC dynamic
+// program never worse than the m-segment optimum.
+//
+// The checks are compiled in only under the `hebscheck` build tag
+// (`go test -tags hebscheck ./...`); without the tag the package
+// exports the same API with Enabled == false as an untyped constant,
+// so every call site guarded by
+//
+//	if invariant.Enabled { invariant.AssertMonotone(...) }
+//
+// is dead-code-eliminated to nothing — the same zero-cost-when-off
+// discipline as the obs nil-sink fast path.
+//
+// A violated invariant panics with an "invariant:"-prefixed message:
+// these are programming errors, not input errors, and fuzzing (make
+// fuzz-smoke runs with the tag) turns any reachable violation into a
+// crasher.
+package invariant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Assert panics with the formatted message when cond is false.
+func Assert(cond bool, format string, args ...any) {
+	if !cond {
+		fail(format, args...)
+	}
+}
+
+// AssertMonotone panics unless xs is non-decreasing (the shape
+// requirement on Φ and Λ: Eq. 5–7 equalization and its Eq. 9
+// coarsening must preserve pixel ordering).
+func AssertMonotone(name string, xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			fail("%s not monotone: x[%d]=%v < x[%d]=%v", name, i, xs[i], i-1, xs[i-1])
+		}
+	}
+}
+
+// AssertInRange panics unless lo <= v <= hi and v is not NaN.
+func AssertInRange(name string, v, lo, hi float64) {
+	if math.IsNaN(v) || v < lo || v > hi {
+		fail("%s = %v outside [%v, %v]", name, v, lo, hi)
+	}
+}
+
+// AssertBeta panics unless beta is an admissible backlight factor:
+// β ∈ (0, 1] (β = R/(G−1), R ≥ 1 — Section 3 of the paper).
+func AssertBeta(name string, beta float64) {
+	if math.IsNaN(beta) || beta <= 0 || beta > 1 {
+		fail("%s = %v outside (0, 1]", name, beta)
+	}
+}
+
+// AssertFinite panics when v is NaN or ±Inf.
+func AssertFinite(name string, v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		fail("%s = %v is not finite", name, v)
+	}
+}
+
+func fail(format string, args ...any) {
+	panic("invariant: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,26 @@
+//go:build !hebscheck
+
+// Without the hebscheck build tag the assertion layer compiles to
+// nothing: Enabled is a false constant, so guarded call sites are
+// eliminated entirely, and the stubs below only exist to keep
+// unguarded references type-correct. See invariant.go for the real
+// implementation and the package documentation.
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Assert is a no-op without the hebscheck tag.
+func Assert(bool, string, ...any) {}
+
+// AssertMonotone is a no-op without the hebscheck tag.
+func AssertMonotone(string, []float64) {}
+
+// AssertInRange is a no-op without the hebscheck tag.
+func AssertInRange(string, float64, float64, float64) {}
+
+// AssertBeta is a no-op without the hebscheck tag.
+func AssertBeta(string, float64) {}
+
+// AssertFinite is a no-op without the hebscheck tag.
+func AssertFinite(string, float64) {}

@@ -1,0 +1,18 @@
+//go:build !hebscheck
+
+package invariant
+
+import "testing"
+
+// Without the tag the whole API must be inert: Enabled is false and
+// even a violated assertion does nothing.
+func TestDisabledIsInert(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the hebscheck tag")
+	}
+	Assert(false, "must not panic")
+	AssertMonotone("phi", []float64{3, 2, 1})
+	AssertInRange("r", 999, 0, 1)
+	AssertBeta("beta", -1)
+	AssertFinite("mse", 0)
+}

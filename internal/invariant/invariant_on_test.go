@@ -1,0 +1,63 @@
+//go:build hebscheck
+
+package invariant
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.HasPrefix(msg, "invariant: ") || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want invariant panic containing %q", r, want)
+		}
+	}()
+	f()
+}
+
+func TestEnabledOn(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the hebscheck tag")
+	}
+}
+
+func TestAssert(t *testing.T) {
+	Assert(true, "unused")
+	mustPanic(t, "m = 3", func() { Assert(false, "m = %d", 3) })
+}
+
+func TestAssertMonotone(t *testing.T) {
+	AssertMonotone("ok", nil)
+	AssertMonotone("ok", []float64{1, 1, 2, 5})
+	mustPanic(t, "phi not monotone", func() { AssertMonotone("phi", []float64{0, 2, 1}) })
+}
+
+func TestAssertInRange(t *testing.T) {
+	AssertInRange("ok", 0.5, 0, 1)
+	AssertInRange("ok", 0, 0, 1)
+	AssertInRange("ok", 1, 0, 1)
+	mustPanic(t, "r = 256", func() { AssertInRange("r", 256, 1, 255) })
+	mustPanic(t, "r = NaN", func() { AssertInRange("r", math.NaN(), 0, 1) })
+}
+
+func TestAssertBeta(t *testing.T) {
+	AssertBeta("ok", 1)
+	AssertBeta("ok", 1.0/255)
+	mustPanic(t, "beta = 0", func() { AssertBeta("beta", 0) })
+	mustPanic(t, "beta = 1.5", func() { AssertBeta("beta", 1.5) })
+	mustPanic(t, "beta = NaN", func() { AssertBeta("beta", math.NaN()) })
+}
+
+func TestAssertFinite(t *testing.T) {
+	AssertFinite("ok", 42)
+	mustPanic(t, "mse = +Inf", func() { AssertFinite("mse", math.Inf(1)) })
+	mustPanic(t, "mse = NaN", func() { AssertFinite("mse", math.NaN()) })
+}

@@ -41,9 +41,11 @@ func ClampInt(v, lo, hi int) int {
 }
 
 // Clamp8 rounds v to the nearest integer and clamps it to [0, 255].
+// NaN maps to 0: the float-to-uint8 conversion of NaN is
+// implementation-defined in Go, so it must not reach the conversion.
 func Clamp8(v float64) uint8 {
 	r := math.Round(v)
-	if r < 0 {
+	if math.IsNaN(r) || r < 0 {
 		return 0
 	}
 	if r > 255 {
@@ -58,6 +60,7 @@ func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
 // InvLerp returns the parameter t such that Lerp(a, b, t) == v.
 // It panics if a == b.
 func InvLerp(a, b, v float64) float64 {
+	//hebslint:allow floateq exact guard against division by zero
 	if a == b {
 		panic("mathx: InvLerp with a == b")
 	}

@@ -66,7 +66,7 @@ func (c *CLIFlags) Start() error {
 			return fmt.Errorf("obs: -cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close() // the profiler error takes precedence
 			return fmt.Errorf("obs: -cpuprofile: %w", err)
 		}
 		c.cpuFile = f
@@ -116,7 +116,7 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	if err := write(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

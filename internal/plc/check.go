@@ -1,0 +1,100 @@
+// Paper-invariant checks for the PLC solver, active only under the
+// hebscheck build tag (every call is guarded by invariant.Enabled, a
+// constant, so none of this survives dead-code elimination in normal
+// builds). The properties checked are exactly the paper's:
+//
+//   - Eq. 8: Λ has m segments whose endpoints Q ⊆ P are strictly
+//     increasing and pin q_1 = p_1, q_{m+1} = p_n;
+//   - Λ preserves the monotonicity of Φ;
+//   - the reported MSE agrees with a direct evaluation of the chosen
+//     chords (guards the prefix-sum chord table against cancellation);
+//   - Eq. 9 optimality: on small instances the DP matches exhaustive
+//     enumeration of all m-segment endpoint subsets.
+package plc
+
+import (
+	"math"
+
+	"hebs/internal/invariant"
+	"hebs/internal/transform"
+)
+
+// exhaustiveLimit bounds the instance size for the brute-force
+// optimality cross-check: C(n-2, m-1) subsets are enumerated, which at
+// n = 12 is at most C(10, 5) = 252.
+const exhaustiveLimit = 12
+
+func checkCoarsenInvariants(pts []transform.Point, m int, res *Result) {
+	n := len(pts)
+	invariant.Assert(len(res.Indices) == m+1,
+		"plc: %d endpoints for m = %d segments (Eq. 8)", len(res.Indices), m)
+	invariant.Assert(res.Segments == m, "plc: Segments = %d, want %d", res.Segments, m)
+	for i := 1; i < len(res.Indices); i++ {
+		invariant.Assert(res.Indices[i] > res.Indices[i-1],
+			"plc: endpoint indices not increasing at %d: %v", i, res.Indices)
+	}
+	invariant.Assert(res.Indices[0] == 0 && res.Indices[m] == n-1,
+		"plc: endpoints must pin q_1 = p_1 and q_{m+1} = p_n (Eq. 8), got %v", res.Indices)
+	invariant.AssertFinite("plc: MSE", res.MSE)
+	invariant.Assert(res.MSE >= 0, "plc: negative MSE %v", res.MSE)
+	if monotone(pts) {
+		ys := make([]float64, len(res.Points))
+		for i, p := range res.Points {
+			ys[i] = p.Y
+		}
+		invariant.AssertMonotone("plc: Λ endpoints (monotone Φ must stay monotone)", ys)
+	}
+	// The chord table computes per-chord errors via prefix sums; the
+	// reported MSE must agree with the direct O(n·m) evaluation.
+	direct, err := CurveMSE(pts, res.Indices)
+	invariant.Assert(err == nil, "plc: CurveMSE on DP result: %v", err)
+	invariant.Assert(math.Abs(direct-res.MSE) <= mseTolerance(direct),
+		"plc: chord-table MSE %v disagrees with direct evaluation %v", res.MSE, direct)
+	if n <= exhaustiveLimit {
+		best := exhaustiveMSE(pts, m)
+		invariant.Assert(math.Abs(res.MSE-best) <= mseTolerance(best),
+			"plc: DP MSE %v differs from exhaustive %d-segment optimum %v (Eq. 9)", res.MSE, m, best)
+	}
+}
+
+func monotone(pts []transform.Point) bool {
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			return false
+		}
+	}
+	return true
+}
+
+// mseTolerance is a relative float tolerance for comparing two MSE
+// computations that take different arithmetic routes.
+func mseTolerance(ref float64) float64 {
+	return 1e-6 * (1 + math.Abs(ref))
+}
+
+// exhaustiveMSE enumerates every valid endpoint subset (indices 0 and
+// n-1 fixed, m-1 interior picks) and returns the minimal MSE — the
+// ground truth the Eq. 9 dynamic program must match.
+func exhaustiveMSE(pts []transform.Point, m int) float64 {
+	n := len(pts)
+	idx := make([]int, m+1)
+	idx[0], idx[m] = 0, n-1
+	best := math.Inf(1)
+	var rec func(slot, from int)
+	rec = func(slot, from int) {
+		if slot == m {
+			mse, err := CurveMSE(pts, idx)
+			if err == nil && mse < best {
+				best = mse
+			}
+			return
+		}
+		// Leave room for the remaining interior picks before index n-1.
+		for i := from; i <= n-2-(m-1-slot); i++ {
+			idx[slot] = i
+			rec(slot+1, i+1)
+		}
+	}
+	rec(1, 1)
+	return best
+}

@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"hebs/internal/invariant"
 	"hebs/internal/obs"
 	"hebs/internal/transform"
 )
@@ -165,6 +166,7 @@ func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result,
 			best := inf
 			bestI := -1
 			for i := k - 1; i < j; i++ {
+				//hebslint:allow floateq MaxFloat64 is an exact "unreached" marker
 				if dp[k-1][i] == inf {
 					continue
 				}
@@ -179,6 +181,7 @@ func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result,
 		}
 	}
 	dpSpan.End()
+	//hebslint:allow floateq MaxFloat64 is an exact "unreached" marker
 	if dp[m][n-1] == inf {
 		mErrors.Inc()
 		return nil, fmt.Errorf("plc: no feasible %d-segment cover", m)
@@ -201,6 +204,9 @@ func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result,
 		res.Points[i] = pts[id]
 	}
 	sp.SetFloat("mse", res.MSE)
+	if invariant.Enabled {
+		checkCoarsenInvariants(pts, m, res)
+	}
 	mSolves.Inc()
 	mLatency.ObserveDuration(time.Since(start))
 	return res, nil

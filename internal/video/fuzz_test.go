@@ -1,0 +1,71 @@
+package video
+
+import (
+	"testing"
+
+	"hebs/internal/core"
+	"hebs/internal/gray"
+	"hebs/internal/transform"
+)
+
+// fuzzFrameSide keeps frames large enough for the UQI sliding window
+// yet cheap to equalize.
+const fuzzFrameSide = 16
+
+// FuzzDetectCuts builds short random sequences and checks that cut
+// detection never panics and only reports valid, strictly increasing
+// cut indices, then runs the slew-rate policy over the same frames and
+// checks every applied backlight factor is admissible (β ∈ (0,1]).
+func FuzzDetectCuts(f *testing.F) {
+	f.Add([]byte{0, 128, 255, 3}, uint8(3), uint8(200), uint8(20))
+	f.Add([]byte{}, uint8(0), uint8(0), uint8(0))
+	f.Add([]byte{255, 255, 0, 0, 17}, uint8(2), uint8(120), uint8(255))
+	f.Fuzz(func(t *testing.T, pix []byte, nf8, r8, step8 uint8) {
+		nf := 2 + int(nf8)%3 // [2,4] frames
+		frames := make([]*gray.Image, nf)
+		perFrame := fuzzFrameSide * fuzzFrameSide
+		for k := range frames {
+			img := gray.New(fuzzFrameSide, fuzzFrameSide)
+			for p := range img.Pix {
+				if len(pix) > 0 {
+					img.Pix[p] = pix[(k*perFrame+p)%len(pix)]
+				} else {
+					img.Pix[p] = uint8(k*37 + p)
+				}
+			}
+			frames[k] = img
+		}
+		seq, err := NewSequence(frames)
+		if err != nil {
+			t.Fatalf("NewSequence: %v", err)
+		}
+		cuts, err := DetectCuts(seq, float64(step8))
+		if err != nil {
+			t.Fatalf("DetectCuts: %v", err)
+		}
+		for i, c := range cuts {
+			if c < 1 || c >= nf {
+				t.Fatalf("cut index %d outside [1,%d)", c, nf)
+			}
+			if i > 0 && c <= cuts[i-1] {
+				t.Fatalf("cut indices not increasing: %v", cuts)
+			}
+		}
+		pol := Policy{
+			MaxStep: float64(1+int(step8)) / 255,
+			Options: core.Options{DynamicRange: 1 + int(r8)%(transform.Levels-1)},
+		}
+		res, err := Process(seq, pol)
+		if err != nil {
+			t.Fatalf("Process: %v", err)
+		}
+		for i, fr := range res.Frames {
+			if !(fr.Beta > 0 && fr.Beta <= 1) {
+				t.Fatalf("frame %d: applied β = %v outside (0,1]", i, fr.Beta)
+			}
+			if !(fr.TargetBeta > 0 && fr.TargetBeta <= 1) {
+				t.Fatalf("frame %d: target β = %v outside (0,1]", i, fr.TargetBeta)
+			}
+		}
+	})
+}

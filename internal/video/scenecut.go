@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"hebs/internal/histogram"
+	"hebs/internal/invariant"
 	"hebs/internal/obs"
 )
 
@@ -66,6 +67,16 @@ func DetectCuts(seq *Sequence, threshold float64) ([]int, error) {
 	}
 	sp.SetInt("cuts", len(cuts))
 	mCutsFound.Add(int64(len(cuts)))
+	if invariant.Enabled {
+		// Frame 0 never counts as a cut and indices must be a strictly
+		// increasing subset of the frame range.
+		for i, c := range cuts {
+			invariant.Assert(c >= 1 && c < len(seq.Frames),
+				"video: cut index %d outside [1,%d)", c, len(seq.Frames))
+			invariant.Assert(i == 0 || c > cuts[i-1],
+				"video: cut indices not increasing: %v", cuts)
+		}
+	}
 	return cuts, nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"hebs/internal/core"
 	"hebs/internal/gray"
 	"hebs/internal/histogram"
+	"hebs/internal/invariant"
 	"hebs/internal/power"
 	"hebs/internal/transform"
 )
@@ -225,9 +226,11 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 		prevRange = r.Range
 		target := r.Beta
 		applied := target
+		cutSnap := false
 		if !math.IsNaN(prevBeta) && pol.MaxStep > 0 {
 			delta := target - prevBeta
 			isCut := pol.CutThreshold > 0 && math.Abs(delta) > pol.CutThreshold
+			cutSnap = isCut
 			// Brightening (delta >= 0) is immediate: staying below the
 			// frame's target would exceed its distortion budget. Dimming
 			// is slew-limited unless a scene cut masks it.
@@ -240,6 +243,7 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 			}
 		}
 		fr := FrameResult{TargetBeta: target, Beta: applied}
+		//hebslint:allow floateq applied is assigned from target unless slew-limited
 		if applied != target {
 			// Re-run the pipeline at the applied range so the image is
 			// transformed consistently with the actual backlight.
@@ -266,6 +270,17 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 			return FrameResult{}, err
 		}
 		fr.SavingPercent = saving
+		if invariant.Enabled {
+			invariant.AssertBeta("video: target β", fr.TargetBeta)
+			invariant.AssertBeta("video: applied β", fr.Beta)
+			if pol.MaxStep > 0 && !math.IsNaN(prevBeta) && !cutSnap {
+				// The fast-attack/slow-decay track may only dim by MaxStep
+				// per frame (plus the 1/(G−1) quantization of mapping β
+				// back through RangeForBeta's floor).
+				invariant.Assert(prevBeta-fr.Beta <= pol.MaxStep+1.0/float64(transform.Levels-1)+1e-9,
+					"video: dimming slew %v exceeds MaxStep %v", prevBeta-fr.Beta, pol.MaxStep)
+			}
+		}
 		fsp.SetFloat("target_beta", fr.TargetBeta)
 		fsp.SetFloat("applied_beta", fr.Beta)
 		fsp.SetInt("range", fr.Range)
