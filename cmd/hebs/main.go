@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"hebs/internal/chart"
 	"hebs/internal/core"
@@ -96,13 +98,20 @@ func run(args []string, out io.Writer) (err error) {
 		return fmt.Errorf("specify exactly one of -distortion or -range")
 	}
 
+	// SIGINT cancels the pipeline between stages (a second signal kills
+	// the process via the restored default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	cfg := driver.DefaultConfig
 	opts := core.Options{
 		MaxDistortionPercent: *distortion,
-		DynamicRange:         *dynRange,
-		ExactSearch:          *exact,
-		Segments:             *segments,
-		Driver:               &cfg,
+		// A direct -range bypasses the range search entirely, so the
+		// -exact default must not conflict with it.
+		DynamicRange: *dynRange,
+		ExactSearch:  *exact && *dynRange == 0,
+		Segments:     *segments,
+		Driver:       &cfg,
 	}
 	if *curvePath != "" {
 		curve, err := chart.LoadJSON(*curvePath)
@@ -115,13 +124,13 @@ func run(args []string, out io.Writer) (err error) {
 	var res *core.Result
 	var colorRes *core.ColorResult
 	if *colorMode {
-		colorRes, err = core.ProcessColor(colorImg, opts)
+		colorRes, err = core.ProcessColorContext(ctx, colorImg, opts)
 		if err != nil {
 			return err
 		}
 		res = colorRes.Result
 	} else {
-		res, err = core.Process(img, opts)
+		res, err = core.ProcessContext(ctx, img, opts)
 		if err != nil {
 			return err
 		}

@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
@@ -75,7 +77,11 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}()
 
-	cfg := experiments.Config{ImageSize: *size}
+	// SIGINT cancels the suite fan-outs between images (a second signal
+	// kills the process via the restored default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := experiments.Config{ImageSize: *size}.WithContext(ctx)
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {

@@ -9,10 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"hebs/internal/experiments"
 	"hebs/internal/obs"
@@ -46,7 +48,10 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}()
 
-	cfg := experiments.Config{ImageSize: *size}
+	// SIGINT cancels the characterization runs between images.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := experiments.Config{ImageSize: *size}.WithContext(ctx)
 
 	if err := report.Section(out, "CCFL model (Eq. 11, LP064V1 coefficients)"); err != nil {
 		return err

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -76,14 +79,24 @@ func run(args []string, out io.Writer) (err error) {
 		ReuseThreshold: *reuse,
 		Options:        core.Options{MaxDistortionPercent: *budget, ExactSearch: true},
 	}
+	// SIGINT cancels the clip between frames; the frames finished so
+	// far are still reported (a second signal kills the process via
+	// the restored default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var res *video.Result
 	if *cutDetect {
-		res, err = video.ProcessWithCutDetection(clip, pol, 0)
+		res, err = video.ProcessWithCutDetectionContext(ctx, clip, pol, 0)
 	} else {
-		res, err = video.Process(clip, pol)
+		res, err = video.ProcessContext(ctx, clip, pol)
 	}
+	interrupted := false
 	if err != nil {
-		return err
+		if !errors.Is(err, context.Canceled) || res == nil {
+			return err
+		}
+		interrupted = true
+		err = nil
 	}
 
 	fmt.Fprintf(out, "clip %q: %d frames of %dx%d, budget %.0f%%, maxstep %.3f, cutdetect %v\n\n",
@@ -100,6 +113,10 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintf(out, "\nmean saving:   %.1f%%\n", res.MeanSaving)
 	fmt.Fprintf(out, "flicker:       mean |Δβ| %.4f, max |Δβ| %.4f\n",
 		res.MeanAbsDeltaBeta, res.MaxAbsDeltaBeta)
+	if interrupted {
+		fmt.Fprintf(out, "interrupted:   %d of %d frames processed before cancellation\n",
+			len(res.Frames), len(clip.Frames))
+	}
 
 	cuts, err := video.DetectCuts(clip, 0)
 	if err != nil {

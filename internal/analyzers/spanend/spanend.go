@@ -1,6 +1,7 @@
 // Package spanend defines an analyzer enforcing the obs span
-// lifecycle: every span opened in a function (obs.StartSpan or
-// Span.Child) must be ended on all paths out of that function. An
+// lifecycle: every span opened in a function (obs.StartSpan,
+// obs.StartSpanCtx or Span.Child) must be ended on all paths out of
+// that function. An
 // unended span never reaches the sink, which silently skews every
 // latency histogram derived from the trace — the bug class PR 1's
 // tracing layer introduced.
@@ -141,7 +142,11 @@ func collectCandidates(pass *analysis.Pass, body *ast.BlockStmt) []*candidate {
 		for i, stmt := range list {
 			switch s := stmt.(type) {
 			case *ast.AssignStmt:
-				if len(s.Lhs) != 1 || len(s.Rhs) != 1 || !isSpanCreatingCall(pass, s.Rhs[0]) {
+				// One or two LHS: `sp := obs.StartSpan(...)` /
+				// `sp.Child(...)`, or the two-value
+				// `sp, ctx := obs.StartSpanCtx(...)` — the span is
+				// always the first result.
+				if len(s.Lhs) < 1 || len(s.Lhs) > 2 || len(s.Rhs) != 1 || !isSpanCreatingCall(pass, s.Rhs[0]) {
 					continue
 				}
 				id, ok := s.Lhs[0].(*ast.Ident)
@@ -333,7 +338,7 @@ func isSpanCreatingCall(pass *analysis.Pass, e ast.Expr) bool {
 		return false
 	}
 	switch fn.Name() {
-	case "StartSpan":
+	case "StartSpan", "StartSpanCtx":
 		return fn.Type().(*types.Signature).Recv() == nil
 	case "Child":
 		return recvIsSpan(fn)

@@ -9,7 +9,7 @@ import (
 
 func TestSpanend(t *testing.T) {
 	diags := analysistest.Run(t, "testdata", spanend.Analyzer, "spanendtest")
-	if len(diags) != 6 {
-		t.Fatalf("got %d diagnostics, want 6", len(diags))
+	if len(diags) != 8 {
+		t.Fatalf("got %d diagnostics, want 8", len(diags))
 	}
 }

@@ -2,7 +2,11 @@
 // the blessed defer pattern, escapes, and an allowlisted leak.
 package spanendtest
 
-import "hebs/internal/obs"
+import (
+	"context"
+
+	"hebs/internal/obs"
+)
 
 func missingEnd() {
 	sp := obs.StartSpan("work") // want `span "sp" is started but never ended`
@@ -87,6 +91,31 @@ func breakPastEndEscapes(xs []int) {
 		}
 		sp.End()
 	}
+}
+
+func missingEndCtx(ctx context.Context) {
+	sp, sub := obs.StartSpanCtx(ctx, "work") // want `span "sp" is started but never ended`
+	_ = sub
+	sp.SetInt("k", 5)
+}
+
+func conditionalEndCtx(ctx context.Context, b bool) {
+	sp, _ := obs.StartSpanCtx(ctx, "work") // want `span "sp" is not ended on all paths`
+	if b {
+		sp.End()
+	}
+}
+
+func deferEndCtx(ctx context.Context) context.Context {
+	sp, sub := obs.StartSpanCtx(ctx, "work")
+	defer sp.End()
+	return sub
+}
+
+func explicitEndCtxSameBlock(ctx context.Context) {
+	sp, _ := obs.StartSpanCtx(ctx, "work")
+	sp.SetInt("k", 6)
+	sp.End()
 }
 
 func allowlistedLeak() {

@@ -4,21 +4,39 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"hebs/internal/gray"
+	"hebs/internal/obs"
 )
 
 // ProcessBatch runs Process over every image concurrently (bounded by
-// the CPU count) and returns results in input order. The first error
-// aborts the batch (remaining in-flight work drains first). When the
-// options use the curve-lookup path with a nil Curve, the shared
-// default curve is built once before the fan-out so workers don't race
-// to construct it.
+// the CPU count) and returns results in input order. It delegates to
+// the default Engine with a background context; see
+// Engine.ProcessBatch for cancellation semantics.
 func ProcessBatch(imgs []*gray.Image, opts Options) ([]*Result, error) {
+	return DefaultEngine().ProcessBatch(context.Background(), imgs, opts)
+}
+
+// ProcessBatchContext is ProcessBatch with cooperative cancellation.
+func ProcessBatchContext(ctx context.Context, imgs []*gray.Image, opts Options) ([]*Result, error) {
+	return DefaultEngine().ProcessBatch(ctx, imgs, opts)
+}
+
+// ProcessBatch runs the engine over every image concurrently (bounded
+// by the CPU count) and returns results in input order. The first
+// error aborts the batch: in-flight work drains, remaining jobs are
+// skipped, and any already-completed results are released back to the
+// engine pool before the error returns. Cancelling ctx aborts the
+// same way with an error satisfying errors.Is(err, ctx.Err()). When
+// the options use the curve-lookup path with a nil Curve, the shared
+// default curve is built once before the fan-out so workers don't
+// race to construct it.
+func (e *Engine) ProcessBatch(ctx context.Context, imgs []*gray.Image, opts Options) ([]*Result, error) {
 	if len(imgs) == 0 {
 		return nil, errors.New("core: empty batch")
 	}
@@ -27,7 +45,14 @@ func ProcessBatch(imgs []*gray.Image, opts Options) ([]*Result, error) {
 			return nil, fmt.Errorf("core: nil image at index %d", i)
 		}
 	}
-	sp := opts.Trace.Child("core.ProcessBatch")
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	parent := opts.Trace
+	if parent == nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+	sp := parent.Child("core.ProcessBatch")
 	defer sp.End()
 	sp.SetInt("images", len(imgs))
 	opts.Trace = sp // nest every worker's run under the batch span
@@ -58,7 +83,17 @@ func ProcessBatch(imgs []*gray.Image, opts Options) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := Process(imgs[i], opts)
+				// After cancellation keep draining the channel so the
+				// feeder never blocks, but start no new pipeline runs.
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: batch image %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				res, err := e.Process(ctx, imgs[i], opts)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -77,6 +112,11 @@ func ProcessBatch(imgs []*gray.Image, opts Options) ([]*Result, error) {
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
+		// Return completed frames to the pool so an aborted batch
+		// leaves the engine's in-use count where it started.
+		for _, r := range results {
+			r.Release()
+		}
 		return nil, firstErr
 	}
 	return results, nil

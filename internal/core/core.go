@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -141,6 +142,10 @@ type Result struct {
 	// RealizationError is the MSE between the hardware's displayed
 	// luminance and Λ (0 unless Options.Driver set).
 	RealizationError float64
+
+	// eng is the engine whose pool owns Transformed; set by
+	// Engine.Process so Release can recycle the buffer.
+	eng *Engine
 }
 
 // Stats is the one-struct summary of a completed run: the operating
@@ -263,6 +268,13 @@ type Plan struct {
 	// Program is the PLRD configuration (nil unless a driver config was
 	// given).
 	Program *driver.Program
+
+	// reconstruction cache: Φ⁻¹∘Φ is a pure function of Lambda, and
+	// cached plans are shared across frames, so it is computed at most
+	// once per plan (see Plan.reconstruction in engine.go).
+	reconOnce sync.Once
+	recon     *transform.LUT
+	reconErr  error
 }
 
 // PlanFromHistogram computes the HEBS transform for a target dynamic
@@ -271,12 +283,14 @@ type Plan struct {
 // source count; drv may be nil to skip voltage programming; eq selects
 // the equalization variant (clipFactor as in Options.ClipFactor).
 func PlanFromHistogram(h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
-	return planFromHistogram(nil, h, r, segments, drv, eq, clipFactor)
+	return planFromHistogramCtx(context.Background(), nil, h, r, segments, drv, eq, clipFactor)
 }
 
-// planFromHistogram is PlanFromHistogram with the caller's span as the
-// parent of the stage spans (Process passes its run span).
-func planFromHistogram(parent *obs.Span, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
+// planFromHistogramCtx is PlanFromHistogram with the caller's span as
+// the parent of the stage spans (Process passes its run span) and
+// cooperative cancellation between stages (the PLC DP also checks ctx
+// per outer-loop row, bounding cancellation latency on large solves).
+func planFromHistogramCtx(ctx context.Context, parent *obs.Span, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
 	if h == nil || h.N == 0 {
 		return nil, errors.New("core: empty histogram")
 	}
@@ -304,30 +318,34 @@ func planFromHistogram(parent *obs.Span, h *histogram.Histogram, r, segments int
 	var ghe *equalize.Result
 	switch eq {
 	case EqualizerGHE:
-		ghe, err = equalize.SolveRange(h, r)
+		ghe, err = equalize.SolveRangeCtx(ctx, h, r)
 	case EqualizerClipped:
 		if clipFactor == 0 {
 			clipFactor = 3
 		}
-		ghe, err = equalize.SolveClipped(h, 0, r, clipFactor)
+		if err = ctx.Err(); err == nil {
+			ghe, err = equalize.SolveClipped(h, 0, r, clipFactor)
+		}
 	case EqualizerBBHE:
-		ghe, err = equalize.SolveBBHE(h, 0, r)
+		if err = ctx.Err(); err == nil {
+			ghe, err = equalize.SolveBBHE(h, 0, r)
+		}
 	default:
 		err = fmt.Errorf("core: unknown equalizer %v", eq)
 	}
-	eqDone(err)
+	eqDone.end(err)
 	if err != nil {
 		return nil, err
 	}
 
 	// Step 3: coarsen Φ to Λ via the PLC DP (Eq. 9).
 	plcSpan, plcDone := stage(parent, stagePLC)
-	coarse, err := plc.CoarsenTraced(plcSpan, ghe.Points(), segments)
+	coarse, err := plc.CoarsenCtx(ctx, plcSpan, ghe.Points(), segments)
 	var lambda *transform.LUT
 	if err == nil {
 		lambda, err = coarse.LUT()
 	}
-	plcDone(err)
+	plcDone.end(err)
 	if err != nil {
 		return nil, err
 	}
@@ -343,7 +361,7 @@ func planFromHistogram(parent *obs.Span, h *histogram.Histogram, r, segments int
 		// PLRD voltage programming (Eq. 10).
 		_, drvDone := stage(parent, stageDriver)
 		plan.Program, err = driver.ProgramHierarchical(*drv, coarse.Points, beta)
-		drvDone(err)
+		drvDone.end(err)
 		if err != nil {
 			return nil, err
 		}
@@ -351,86 +369,19 @@ func planFromHistogram(parent *obs.Span, h *histogram.Histogram, r, segments int
 	return plan, nil
 }
 
-// Process runs the full HEBS pipeline on an image.
+// Process runs the full HEBS pipeline on an image. It delegates to
+// the process-wide default Engine (plan cache disabled), so outputs,
+// metrics and span trees are identical to the pre-engine pipeline;
+// use Engine.Process directly for cancellation, plan caching and
+// buffer recycling.
 func Process(img *gray.Image, opts Options) (*Result, error) {
-	if img == nil {
-		return nil, errors.New("core: nil image")
-	}
-	segments := opts.Segments
-	if segments == 0 {
-		segments = driver.DefaultConfig.Sources
-	}
-	if segments < 1 {
-		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
-	}
-	sub := power.DefaultSubsystem
-	if opts.Subsystem != nil {
-		sub = *opts.Subsystem
-	}
-	sp := opts.Trace.Child("core.Process")
-	defer sp.End()
+	return DefaultEngine().Process(context.Background(), img, opts)
+}
 
-	// Step 1: distortion budget -> admissible range and β.
-	_, rsDone := stage(sp, stageRangeSelect)
-	r, predicted, err := selectRange(img, opts)
-	rsDone(err)
-	if err != nil {
-		return nil, err
-	}
-
-	_, histDone := stage(sp, stageHistogram)
-	h := histogram.Of(img)
-	histDone(nil)
-
-	// Steps 2+3: histogram -> Φ -> Λ (+ the PLRD program), the part the
-	// LCD controller computes from its histogram estimator alone.
-	plan, err := planFromHistogram(sp, h, r, segments,
-		opts.Driver, opts.Equalizer, opts.ClipFactor)
-	if err != nil {
-		return nil, err
-	}
-
-	// Step 4: apply Λ; measure what the dimmed display delivers.
-	_, applyDone := stage(sp, stageApply)
-	transformed := plan.Lambda.Apply(img)
-	applyDone(nil)
-	res := &Result{
-		Original:            img,
-		Transformed:         transformed,
-		Lambda:              plan.Lambda,
-		Breakpoints:         plan.Breakpoints,
-		Exact:               plan.Exact,
-		Range:               plan.Range,
-		Beta:                plan.Beta,
-		PredictedDistortion: predicted,
-		PLCError:            plan.PLCError,
-		Program:             plan.Program,
-	}
-	_, distDone := stage(sp, stageDistortion)
-	res.AchievedDistortion, err = chart.TransformDistortion(img, plan.Lambda, opts.Metric)
-	distDone(err)
-	if err != nil {
-		return nil, err
-	}
-	_, powDone := stage(sp, stagePower)
-	res.PowerBefore, err = sub.Power(img, 1)
-	if err == nil {
-		res.PowerAfter, err = sub.Power(res.Transformed, plan.Beta)
-	}
-	powDone(err)
-	if err != nil {
-		return nil, err
-	}
-	res.PowerSavingPercent = 100 * (1 - res.PowerAfter/res.PowerBefore)
-
-	if res.Program != nil {
-		res.RealizationError, err = res.Program.RealizationError(plan.Lambda)
-		if err != nil {
-			return nil, err
-		}
-	}
-	recordRun(res, sp)
-	return res, nil
+// ProcessContext is Process with cooperative cancellation between
+// pipeline stages (and inside the PLC dynamic program).
+func ProcessContext(ctx context.Context, img *gray.Image, opts Options) (*Result, error) {
+	return DefaultEngine().Process(ctx, img, opts)
 }
 
 // DitheredPreview renders the compensated preview through
@@ -465,29 +416,13 @@ type ColorResult struct {
 // hardware where the three sub-pixel columns share the source-driver
 // reference ladder (Section 2).
 func ProcessColor(img *rgb.Image, opts Options) (*ColorResult, error) {
-	if img == nil {
-		return nil, errors.New("core: nil color image")
-	}
-	sp := opts.Trace.Child("core.ProcessColor")
-	defer sp.End()
-	opts.Trace = sp
+	return DefaultEngine().ProcessColor(context.Background(), img, opts)
+}
 
-	lumaSpan := sp.Child("stage.luma")
-	luma := img.Luma()
-	lumaSpan.End()
-	res, err := Process(luma, opts)
-	if err != nil {
-		return nil, err
-	}
-	applySpan := sp.Child("stage.apply_color")
-	transformed := img.ApplyLUT(res.Lambda)
-	applySpan.End()
-	mColorFrames.Inc()
-	return &ColorResult{
-		Result:           res,
-		OriginalColor:    img,
-		TransformedColor: transformed,
-	}, nil
+// ProcessColorContext is ProcessColor with cooperative cancellation
+// between pipeline stages.
+func ProcessColorContext(ctx context.Context, img *rgb.Image, opts Options) (*ColorResult, error) {
+	return DefaultEngine().ProcessColor(ctx, img, opts)
 }
 
 // CompensatedColorPreview renders the color frame as perceived after

@@ -1,0 +1,755 @@
+// The Plan/Apply engine: the pipeline of Figure 4 split into three
+// reusable stages with explicit scratch-state ownership.
+//
+//   - Analyze: histogram extraction + admissible-range selection
+//     (step 1, Section 3) — per-image, cheap, cancellable.
+//   - Plan: Φ equalization (Eq. 5–7), PLC coarsening (Eq. 9), β and the
+//     PLRD driver program (Eq. 10) — pure and image-size-independent:
+//     it depends only on the histogram, so identical histograms yield
+//     identical plans and a small LRU keyed by histogram hash makes
+//     steady-state video planning free.
+//   - Apply: the per-pixel Λ remap into caller- or pool-provided
+//     buffers — the only stage that touches pixel data.
+//
+// An Engine owns sync.Pool-backed frame buffers, pooled histograms and
+// the plan cache, and threads context.Context through every stage so
+// long runs cancel promptly. The legacy Process/ProcessBatch/
+// ProcessColor entry points delegate to a default Engine whose plan
+// cache is disabled, which keeps their outputs and span trees exactly
+// as before the refactor.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hebs/internal/chart"
+	"hebs/internal/driver"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/obs"
+	"hebs/internal/power"
+	"hebs/internal/rgb"
+	"hebs/internal/transform"
+)
+
+// ConflictingOptionsError reports an Options value that asks for both
+// the direct-range mode (DynamicRange != 0, which bypasses step 1
+// entirely) and the per-image exact range search (ExactSearch) — the
+// two are mutually exclusive ways of choosing R, and silently
+// preferring one hid configuration bugs.
+type ConflictingOptionsError struct {
+	// DynamicRange is the directly requested range that conflicted
+	// with ExactSearch.
+	DynamicRange int
+}
+
+func (e *ConflictingOptionsError) Error() string {
+	return fmt.Sprintf("core: DynamicRange %d and ExactSearch are mutually exclusive (a direct range bypasses the per-image search)", e.DynamicRange)
+}
+
+// validateOptions rejects contradictory Options combinations before
+// any pipeline work starts.
+func validateOptions(opts Options) error {
+	if opts.DynamicRange != 0 && opts.ExactSearch {
+		return &ConflictingOptionsError{DynamicRange: opts.DynamicRange}
+	}
+	return nil
+}
+
+// DefaultPlanCacheSize is the plan-LRU capacity NewEngine uses when
+// EngineOptions.PlanCacheSize is 0. A handful of entries covers the
+// common temporal locality (static video scenes, repeated stills).
+const DefaultPlanCacheSize = 8
+
+// EngineOptions configures a new Engine.
+type EngineOptions struct {
+	// PlanCacheSize is the capacity of the plan LRU: 0 selects
+	// DefaultPlanCacheSize, a negative value disables caching (every
+	// PlanFor recomputes, emitting the full equalize/plc span set).
+	PlanCacheSize int
+}
+
+// Engine runs the HEBS pipeline with reusable scratch state: pooled
+// gray/rgb frame buffers and histograms (so steady-state processing
+// allocates ~nothing per frame) and an LRU of recent Plans keyed by
+// histogram hash. An Engine is safe for concurrent use; the zero
+// value is not valid — use NewEngine.
+type Engine struct {
+	planCache *planCache
+
+	grayPool sync.Pool
+	rgbPool  sync.Pool
+	histPool sync.Pool
+
+	// rangeRecon lazily caches, per target range r, the reconstruction
+	// LUT Φ⁻¹∘Φ of plain linear compression to r. The LUT depends only
+	// on r, and the exact range search evaluates O(log 255) of them per
+	// search — cached, the search's only per-candidate work is the
+	// pixel remap into pooled scratch plus the metric.
+	rangeRecon [transform.Levels]atomic.Pointer[transform.LUT]
+
+	gets, puts, misses atomic.Int64
+}
+
+// NewEngine returns an Engine with the given options.
+func NewEngine(opts EngineOptions) *Engine {
+	e := &Engine{}
+	size := opts.PlanCacheSize
+	if size == 0 {
+		size = DefaultPlanCacheSize
+	}
+	if size > 0 {
+		e.planCache = &planCache{cap: size}
+	}
+	return e
+}
+
+var (
+	defaultEngineOnce sync.Once
+	defaultEngine     *Engine
+)
+
+// DefaultEngine returns the process-wide Engine backing the legacy
+// Process/ProcessBatch/ProcessColor wrappers. Its plan cache is
+// disabled so every legacy run recomputes (and traces) the full
+// equalize/plc stage set exactly as before the engine refactor;
+// buffer pools are still active but only help callers that Release.
+func DefaultEngine() *Engine {
+	defaultEngineOnce.Do(func() {
+		defaultEngine = NewEngine(EngineOptions{PlanCacheSize: -1})
+	})
+	return defaultEngine
+}
+
+// PoolStats is a snapshot of an Engine's buffer-pool counters: Gets
+// counts buffers handed out (pooled or freshly allocated), Misses the
+// subset that had to allocate, Puts the buffers returned via Release.
+type PoolStats struct {
+	Gets, Puts, Misses int64
+}
+
+// InUse returns the number of pool-managed buffers currently held by
+// callers. A leak-free workload that releases every result drains
+// back to zero.
+func (s PoolStats) InUse() int64 { return s.Gets - s.Puts }
+
+// PoolStats snapshots the engine's buffer-pool counters.
+func (e *Engine) PoolStats() PoolStats {
+	return PoolStats{Gets: e.gets.Load(), Puts: e.puts.Load(), Misses: e.misses.Load()}
+}
+
+func (e *Engine) getGray(w, h int) *gray.Image {
+	e.gets.Add(1)
+	if v := e.grayPool.Get(); v != nil {
+		img := v.(*gray.Image)
+		if img.W == w && img.H == h {
+			return img
+		}
+		// Geometry changed: drop the stale buffer and allocate fresh.
+	}
+	e.misses.Add(1)
+	return gray.New(w, h)
+}
+
+func (e *Engine) putGray(img *gray.Image) {
+	if img == nil {
+		return
+	}
+	e.puts.Add(1)
+	e.grayPool.Put(img)
+}
+
+func (e *Engine) getRGB(w, h int) *rgb.Image {
+	e.gets.Add(1)
+	if v := e.rgbPool.Get(); v != nil {
+		img := v.(*rgb.Image)
+		if img.W == w && img.H == h {
+			return img
+		}
+	}
+	e.misses.Add(1)
+	return rgb.New(w, h)
+}
+
+func (e *Engine) putRGB(img *rgb.Image) {
+	if img == nil {
+		return
+	}
+	e.puts.Add(1)
+	e.rgbPool.Put(img)
+}
+
+func (e *Engine) getHist() *histogram.Histogram {
+	e.gets.Add(1)
+	if v := e.histPool.Get(); v != nil {
+		return v.(*histogram.Histogram)
+	}
+	e.misses.Add(1)
+	return &histogram.Histogram{}
+}
+
+func (e *Engine) putHist(h *histogram.Histogram) {
+	if h == nil {
+		return
+	}
+	e.puts.Add(1)
+	e.histPool.Put(h)
+}
+
+// ReleaseImage returns a buffer obtained from Apply (or any
+// engine-produced image the caller is done with) to the engine pool.
+// The image must not be used after release.
+func (e *Engine) ReleaseImage(img *gray.Image) { e.putGray(img) }
+
+// Release returns the result's pooled buffers (the transformed frame)
+// to the engine that produced it. The result's Transformed field is
+// nil afterwards and the result must not be reused. Release on a
+// result from the legacy wrappers or a second Release is a safe no-op
+// only after the first call; results never released are simply not
+// recycled (no leak beyond normal GC).
+func (r *Result) Release() {
+	if r == nil || r.eng == nil {
+		return
+	}
+	eng := r.eng
+	r.eng = nil
+	if r.Transformed != nil {
+		eng.putGray(r.Transformed)
+		r.Transformed = nil
+	}
+}
+
+// Release returns the color result's pooled buffers: the luma plane
+// (Original/Transformed of the embedded Result) and the transformed
+// color frame. The result must not be used afterwards.
+func (r *ColorResult) Release() {
+	if r == nil || r.Result == nil || r.Result.eng == nil {
+		return
+	}
+	eng := r.Result.eng
+	if r.TransformedColor != nil {
+		eng.putRGB(r.TransformedColor)
+		r.TransformedColor = nil
+	}
+	// The luma plane is engine-allocated (unlike the gray pipeline,
+	// where Original belongs to the caller).
+	if r.Result.Original != nil {
+		eng.putGray(r.Result.Original)
+		r.Result.Original = nil
+	}
+	r.Result.Release()
+}
+
+// planCache is a small exact-match LRU of recent Plans. The key is an
+// FNV-1a hash over the histogram bins plus the operating point; on a
+// hash hit the stored bins are compared in full, so a reused plan is
+// guaranteed byte-identical to a recomputed one (the "quantization"
+// of the histogram key is the identity — anything coarser would trade
+// output equality for hit rate).
+type planCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries []*planEntry // LRU order: most recently used last
+}
+
+type planEntry struct {
+	hash     uint64
+	bins     [histogram.Levels]int
+	n        int
+	r        int
+	segments int
+	eq       Equalizer
+	clipBits uint64
+	drv      *driver.Config
+	plan     *Plan
+}
+
+// planHash is FNV-1a over the bins and the operating point. The driver
+// config is compared by pointer identity at lookup and not hashed.
+func planHash(h *histogram.Histogram, r, segments int, eq Equalizer, clipBits uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			x ^= v & 0xff
+			x *= prime64
+			v >>= 8
+		}
+	}
+	for _, c := range h.Bins {
+		mix(uint64(c))
+	}
+	mix(uint64(h.N))
+	mix(uint64(r))
+	mix(uint64(segments))
+	mix(uint64(int64(eq)))
+	mix(clipBits)
+	return x
+}
+
+func (c *planCache) lookup(hash uint64, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipBits uint64) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.entries) - 1; i >= 0; i-- {
+		e := c.entries[i]
+		if e.hash != hash || e.n != h.N || e.r != r || e.segments != segments ||
+			e.eq != eq || e.clipBits != clipBits || e.drv != drv {
+			continue
+		}
+		if e.bins != h.Bins {
+			continue // hash collision
+		}
+		copy(c.entries[i:], c.entries[i+1:])
+		c.entries[len(c.entries)-1] = e
+		return e.plan
+	}
+	return nil
+}
+
+func (c *planCache) store(hash uint64, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipBits uint64, plan *Plan) {
+	e := &planEntry{
+		hash: hash, bins: h.Bins, n: h.N,
+		r: r, segments: segments, eq: eq, clipBits: clipBits, drv: drv,
+		plan: plan,
+	}
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		n := copy(c.entries, c.entries[1:])
+		c.entries = c.entries[:n]
+	}
+	c.entries = append(c.entries, e)
+	c.mu.Unlock()
+}
+
+// Analysis is the output of the Analyze stage: the frame's histogram
+// (pool-owned — call Release when done) and the chosen operating
+// point of step 1.
+type Analysis struct {
+	// Histogram is the 256-bin marginal distribution of the frame.
+	Histogram *histogram.Histogram
+	// Range is the admissible dynamic range R.
+	Range int
+	// PredictedDistortion is the step-1 promise (0 in direct
+	// DynamicRange mode).
+	PredictedDistortion float64
+
+	eng *Engine
+}
+
+// Release returns the pooled histogram to the engine. The Analysis
+// must not be used afterwards.
+func (a *Analysis) Release() {
+	if a == nil || a.eng == nil {
+		return
+	}
+	eng := a.eng
+	a.eng = nil
+	if a.Histogram != nil {
+		eng.putHist(a.Histogram)
+		a.Histogram = nil
+	}
+}
+
+// reconForRange returns the reconstruction LUT of linear compression
+// to range r, cached on the engine.
+func (e *Engine) reconForRange(r int) (*transform.LUT, error) {
+	if recon := e.rangeRecon[r].Load(); recon != nil {
+		return recon, nil
+	}
+	lut, err := transform.ScaleToRange(0, uint8(r))
+	if err != nil {
+		return nil, err
+	}
+	recon, err := lut.Reconstruction()
+	if err != nil {
+		return nil, err
+	}
+	// A concurrent search may store its own copy first; either value is
+	// identical, so a plain store is fine.
+	e.rangeRecon[r].Store(recon)
+	return recon, nil
+}
+
+// rangeReductionDistortion is chart.RangeReductionDistortion through
+// the engine's reconstruction cache and a caller-provided scratch
+// buffer: numerically identical, allocation-free once warm.
+func (e *Engine) rangeReductionDistortion(img *gray.Image, r int, metric chart.Metric, scratch *gray.Image) (float64, error) {
+	recon, err := e.reconForRange(r)
+	if err != nil {
+		return 0, err
+	}
+	if metric == nil {
+		metric = chart.UQIMetric
+	}
+	if err := recon.ApplyInto(img, scratch); err != nil {
+		return 0, err
+	}
+	return metric(img, scratch)
+}
+
+// minRangeExact is chart.MinRangeExact plus the follow-up predicted
+// distortion measurement, run on pooled scratch state: the smallest
+// dynamic range in [2, 255] whose measured linear range-reduction
+// distortion on this image does not exceed the budget.
+func (e *Engine) minRangeExact(img *gray.Image, maxDistortion float64, metric chart.Metric) (r int, predicted float64, err error) {
+	scratch := e.getGray(img.W, img.H)
+	defer e.putGray(scratch)
+	lo, hi := 2, transform.Levels-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		d, err := e.rangeReductionDistortion(img, mid, metric, scratch)
+		if err != nil {
+			return 0, 0, err
+		}
+		if d <= maxDistortion {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	predicted, err = e.rangeReductionDistortion(img, lo, metric, scratch)
+	if err != nil {
+		return 0, 0, err
+	}
+	return lo, predicted, nil
+}
+
+// selectRange is step 1 (D_max → R) through the engine: identical
+// decisions to the package-level selectRange, with the ExactSearch
+// path run against pooled scratch buffers and the per-range
+// reconstruction cache.
+func (e *Engine) selectRange(img *gray.Image, opts Options) (r int, predicted float64, err error) {
+	if opts.ExactSearch && opts.DynamicRange == 0 && opts.MaxDistortionPercent > 0 {
+		return e.minRangeExact(img, opts.MaxDistortionPercent, opts.Metric)
+	}
+	return selectRange(img, opts)
+}
+
+// analyzeStages runs range selection and histogram extraction as
+// children of sp, returning a pool-owned histogram.
+func (e *Engine) analyzeStages(ctx context.Context, sp *obs.Span, img *gray.Image, opts Options) (r int, predicted float64, h *histogram.Histogram, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, nil, err
+	}
+	_, rsDone := stage(sp, stageRangeSelect)
+	r, predicted, err = e.selectRange(img, opts)
+	rsDone.end(err)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, nil, err
+	}
+	_, histDone := stage(sp, stageHistogram)
+	h = e.getHist()
+	histogram.OfInto(img, h)
+	histDone.end(nil)
+	return r, predicted, h, nil
+}
+
+// Analyze runs the Analyze stage alone: histogram extraction plus the
+// D_max → R range selection of step 1. Release the returned Analysis
+// when done with its histogram.
+func (e *Engine) Analyze(ctx context.Context, img *gray.Image, opts Options) (*Analysis, error) {
+	if img == nil {
+		return nil, errors.New("core: nil image")
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	sp, ctx := obs.StartSpanCtx(ctx, "engine.analyze")
+	defer sp.End()
+	r, predicted, h, err := e.analyzeStages(ctx, sp, img, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Histogram: h, Range: r, PredictedDistortion: predicted, eng: e}, nil
+}
+
+// planFor computes (or retrieves from the LRU) the Plan for a
+// histogram at range r, with stage spans as children of parent.
+func (e *Engine) planFor(ctx context.Context, parent *obs.Span, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
+	if segments <= 0 {
+		segments = driver.DefaultConfig.Sources
+	}
+	var hash uint64
+	clipBits := math.Float64bits(clipFactor)
+	if e.planCache != nil {
+		hash = planHash(h, r, segments, eq, clipBits)
+		if plan := e.planCache.lookup(hash, h, r, segments, drv, eq, clipBits); plan != nil {
+			mPlanCacheHits.Inc()
+			parent.SetBool("plan_cached", true)
+			return plan, nil
+		}
+		mPlanCacheMisses.Inc()
+	}
+	plan, err := planFromHistogramCtx(ctx, parent, h, r, segments, drv, eq, clipFactor)
+	if err != nil {
+		return nil, err
+	}
+	if e.planCache != nil {
+		e.planCache.store(hash, h, r, segments, drv, eq, clipBits, plan)
+	}
+	return plan, nil
+}
+
+// PlanFor runs the Plan stage alone: histogram → Φ → Λ → β → PLRD
+// program, served from the engine's plan LRU when the histogram and
+// operating point match a recent solve. Plans are immutable and may
+// be shared; they need no release.
+func (e *Engine) PlanFor(ctx context.Context, h *histogram.Histogram, r int, opts Options) (*Plan, error) {
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	sp, ctx := obs.StartSpanCtx(ctx, "engine.plan")
+	defer sp.End()
+	segments := opts.Segments
+	if segments < 0 {
+		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+	}
+	return e.planFor(ctx, sp, h, r, segments, opts.Driver, opts.Equalizer, opts.ClipFactor)
+}
+
+// Apply runs the Apply stage alone: Λ remapped over img into a pooled
+// frame buffer. Return the buffer with ReleaseImage when done.
+func (e *Engine) Apply(ctx context.Context, plan *Plan, img *gray.Image) (*gray.Image, error) {
+	if plan == nil || plan.Lambda == nil {
+		return nil, errors.New("core: Apply with nil plan")
+	}
+	if img == nil {
+		return nil, errors.New("core: nil image")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp, _ := obs.StartSpanCtx(ctx, "engine.apply")
+	defer sp.End()
+	out := e.getGray(img.W, img.H)
+	if err := plan.Lambda.ApplyInto(img, out); err != nil {
+		e.putGray(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyColor is Apply for a color frame: Λ drives all three channels
+// through the shared source-driver ladder. Release the returned frame
+// with ReleaseColorImage.
+func (e *Engine) ApplyColor(ctx context.Context, plan *Plan, img *rgb.Image) (*rgb.Image, error) {
+	if plan == nil || plan.Lambda == nil {
+		return nil, errors.New("core: ApplyColor with nil plan")
+	}
+	if img == nil {
+		return nil, errors.New("core: nil color image")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp, _ := obs.StartSpanCtx(ctx, "engine.apply")
+	defer sp.End()
+	out := e.getRGB(img.W, img.H)
+	if err := img.ApplyLUTInto(plan.Lambda, out); err != nil {
+		e.putRGB(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReleaseColorImage returns a buffer obtained from ApplyColor to the
+// engine pool.
+func (e *Engine) ReleaseColorImage(img *rgb.Image) { e.putRGB(img) }
+
+// transformDistortion is chart.TransformDistortion evaluated through
+// the engine's pooled buffers and the plan's cached reconstruction
+// LUT: numerically identical (integer pixel remap + exact integral
+// images), allocation-free in steady state.
+func (e *Engine) transformDistortion(img *gray.Image, plan *Plan, metric chart.Metric) (float64, error) {
+	recon, err := plan.reconstruction()
+	if err != nil {
+		return 0, err
+	}
+	if metric == nil {
+		metric = chart.UQIMetric
+	}
+	displayed := e.getGray(img.W, img.H)
+	defer e.putGray(displayed)
+	if err := recon.ApplyInto(img, displayed); err != nil {
+		return 0, err
+	}
+	return metric(img, displayed)
+}
+
+// Process runs the full HEBS pipeline on an image: Analyze → Plan →
+// Apply plus the distortion and power measurements, with per-stage
+// cancellation via ctx and the transformed frame drawn from the
+// engine pool (call Result.Release to recycle it).
+func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*Result, error) {
+	if img == nil {
+		return nil, errors.New("core: nil image")
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	segments := opts.Segments
+	if segments == 0 {
+		segments = driver.DefaultConfig.Sources
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+	}
+	sub := power.DefaultSubsystem
+	if opts.Subsystem != nil {
+		sub = *opts.Subsystem
+	}
+	parent := opts.Trace
+	if parent == nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+	sp := parent.Child("core.Process")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
+
+	// Step 1 + histogram extraction (Analyze).
+	r, predicted, h, err := e.analyzeStages(ctx, sp, img, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.putHist(h)
+
+	// Steps 2+3: histogram -> Φ -> Λ (+ the PLRD program) — the Plan
+	// stage, the part the LCD controller computes from its histogram
+	// estimator alone.
+	plan, err := e.planFor(ctx, sp, h, r, segments,
+		opts.Driver, opts.Equalizer, opts.ClipFactor)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 4: apply Λ; measure what the dimmed display delivers.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, applyDone := stage(sp, stageApply)
+	transformed := e.getGray(img.W, img.H)
+	err = plan.Lambda.ApplyInto(img, transformed)
+	applyDone.end(err)
+	if err != nil {
+		e.putGray(transformed)
+		return nil, err
+	}
+	res := &Result{
+		Original:            img,
+		Transformed:         transformed,
+		Lambda:              plan.Lambda,
+		Breakpoints:         plan.Breakpoints,
+		Exact:               plan.Exact,
+		Range:               plan.Range,
+		Beta:                plan.Beta,
+		PredictedDistortion: predicted,
+		PLCError:            plan.PLCError,
+		Program:             plan.Program,
+		eng:                 e,
+	}
+	if err := ctx.Err(); err != nil {
+		res.Release()
+		return nil, err
+	}
+	_, distDone := stage(sp, stageDistortion)
+	res.AchievedDistortion, err = e.transformDistortion(img, plan, opts.Metric)
+	distDone.end(err)
+	if err != nil {
+		res.Release()
+		return nil, err
+	}
+	_, powDone := stage(sp, stagePower)
+	res.PowerBefore, err = sub.Power(img, 1)
+	if err == nil {
+		res.PowerAfter, err = sub.Power(res.Transformed, plan.Beta)
+	}
+	powDone.end(err)
+	if err != nil {
+		res.Release()
+		return nil, err
+	}
+	res.PowerSavingPercent = 100 * (1 - res.PowerAfter/res.PowerBefore)
+
+	if res.Program != nil {
+		res.RealizationError, err = res.Program.RealizationError(plan.Lambda)
+		if err != nil {
+			res.Release()
+			return nil, err
+		}
+	}
+	recordRun(res, sp)
+	return res, nil
+}
+
+// ProcessColor runs HEBS on a color image through the engine: the
+// operating point is decided on the pooled Rec. 601 luma plane and Λ
+// is applied identically to R, G and B. Call ColorResult.Release to
+// recycle the pooled luma and color buffers.
+func (e *Engine) ProcessColor(ctx context.Context, img *rgb.Image, opts Options) (*ColorResult, error) {
+	if img == nil {
+		return nil, errors.New("core: nil color image")
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	parent := opts.Trace
+	if parent == nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+	sp := parent.Child("core.ProcessColor")
+	defer sp.End()
+	opts.Trace = sp
+	ctx = obs.ContextWithSpan(ctx, sp)
+
+	lumaSpan := sp.Child("stage.luma")
+	luma := e.getGray(img.W, img.H)
+	err := img.LumaInto(luma)
+	lumaSpan.End()
+	if err != nil {
+		e.putGray(luma)
+		return nil, err
+	}
+	res, err := e.Process(ctx, luma, opts)
+	if err != nil {
+		e.putGray(luma)
+		return nil, err
+	}
+	applySpan := sp.Child("stage.apply_color")
+	transformed := e.getRGB(img.W, img.H)
+	err = img.ApplyLUTInto(res.Lambda, transformed)
+	applySpan.End()
+	if err != nil {
+		e.putRGB(transformed)
+		e.putGray(luma)
+		res.Release()
+		return nil, err
+	}
+	mColorFrames.Inc()
+	return &ColorResult{
+		Result:           res,
+		OriginalColor:    img,
+		TransformedColor: transformed,
+	}, nil
+}
+
+// reconstruction returns (and caches) Φ⁻¹∘Φ for the plan's Λ — the
+// comparand of the distortion measurement. Plans are shared via the
+// LRU, so the reconstruction is computed once per plan under a
+// sync.Once.
+func (p *Plan) reconstruction() (*transform.LUT, error) {
+	p.reconOnce.Do(func() {
+		p.recon, p.reconErr = p.Lambda.Reconstruction()
+	})
+	return p.recon, p.reconErr
+}

@@ -36,6 +36,12 @@ var (
 	mCurveLookups = obs.NewCounter("core.default_curve_lookups_total")
 	mCurveBuilds  = obs.NewCounter("core.default_curve_builds_total")
 
+	// Plan-LRU behaviour across all engines with caching enabled:
+	// hits are frames whose Plan was reused byte-identically from a
+	// matching recent histogram.
+	mPlanCacheHits   = obs.NewCounter("core.plan_cache_hits_total")
+	mPlanCacheMisses = obs.NewCounter("core.plan_cache_misses_total")
+
 	// Operating-point distributions: the per-image quantities the
 	// comparative-HE literature evaluates, as first-class telemetry.
 	mRangeDist      = obs.NewHistogram("core.range", obs.LinearBuckets(0, 32, 8))
@@ -53,28 +59,41 @@ var (
 
 	stageLatency = map[string]*obs.Histogram{}
 	stageErrors  = map[string]*obs.Counter{}
+	// stageSpanNames pre-joins "stage." + name: the stage helper runs
+	// per frame and must not concatenate on every call.
+	stageSpanNames = map[string]string{}
 )
 
 func init() {
 	for _, s := range pipelineStages {
 		stageLatency[s] = obs.NewHistogram("core.stage."+s+".seconds", obs.LatencyBuckets())
 		stageErrors[s] = obs.NewCounter("core.stage." + s + ".errors_total")
+		stageSpanNames[s] = "stage." + s
+	}
+}
+
+// stageDone closes one pipeline stage: it ends the span, records the
+// latency and counts an error. It is a value type (not a closure) so
+// the per-frame hot path allocates nothing when tracing is disabled.
+type stageDone struct {
+	sp    *obs.Span
+	name  string
+	start time.Time
+}
+
+func (d stageDone) end(err error) {
+	d.sp.End()
+	stageLatency[d.name].ObserveDuration(time.Since(d.start))
+	if err != nil {
+		stageErrors[d.name].Inc()
 	}
 }
 
 // stage opens one pipeline stage: a child span under parent (free when
-// tracing is disabled) plus the always-on latency clock. The returned
-// func closes the span, records the latency and counts an error.
-func stage(parent *obs.Span, name string) (*obs.Span, func(error)) {
-	start := time.Now()
-	sp := parent.Child("stage." + name)
-	return sp, func(err error) {
-		sp.End()
-		stageLatency[name].ObserveDuration(time.Since(start))
-		if err != nil {
-			stageErrors[name].Inc()
-		}
-	}
+// tracing is disabled) plus the always-on latency clock.
+func stage(parent *obs.Span, name string) (*obs.Span, stageDone) {
+	sp := parent.Child(stageSpanNames[name])
+	return sp, stageDone{sp: sp, name: name, start: time.Now()}
 }
 
 // recordRun publishes a completed run's operating point to the metrics

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,26 @@ type Config struct {
 	Subsystem *power.Subsystem
 	// Metric is the distortion measure (default UQI).
 	Metric chart.Metric
+
+	// ctx carries cancellation into the suite fan-outs; nil means
+	// context.Background(). Set via WithContext so Config literals in
+	// existing callers keep working unchanged.
+	ctx context.Context
+}
+
+// WithContext returns a copy of the config whose suite-wide
+// experiments (Table1, Comparison) honor ctx: cancellation stops
+// scheduling new images and surfaces ctx's error.
+func (c Config) WithContext(ctx context.Context) Config {
+	c.ctx = ctx
+	return c
+}
+
+func (c Config) context() context.Context {
+	if c.ctx == nil {
+		return context.Background()
+	}
+	return c.ctx
 }
 
 func (c Config) size() int {
@@ -187,10 +208,10 @@ func Table1(cfg Config) (*Table1Result, error) {
 	}
 	// Images are independent: fan out, then reduce sequentially so the
 	// averages are bit-identical to a serial run.
-	err = forEachImage(suite, func(i int, ni sipi.NamedImage) error {
+	err = forEachImageCtx(cfg.context(), suite, func(i int, ni sipi.NamedImage) error {
 		row := Table1Row{Name: ni.Name}
 		for _, budget := range Table1Budgets {
-			out, err := core.Process(ni.Image, core.Options{
+			out, err := core.ProcessContext(cfg.context(), ni.Image, core.Options{
 				MaxDistortionPercent: budget,
 				ExactSearch:          true,
 				Metric:               cfg.Metric,
@@ -243,8 +264,8 @@ func Comparison(cfg Config, budget float64) ([]ComparisonRow, error) {
 	const nMethods = 4
 	type cell struct{ saving, beta float64 }
 	cells := make([][nMethods]cell, len(suite))
-	err = forEachImage(suite, func(i int, ni sipi.NamedImage) error {
-		h, err := core.Process(ni.Image, core.Options{
+	err = forEachImageCtx(cfg.context(), suite, func(i int, ni sipi.NamedImage) error {
+		h, err := core.ProcessContext(cfg.context(), ni.Image, core.Options{
 			MaxDistortionPercent: budget,
 			ExactSearch:          true,
 			Metric:               cfg.Metric,

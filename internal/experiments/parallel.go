@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -17,6 +18,13 @@ import (
 // pre-allocated result slots without synchronization. The first error
 // wins; remaining work still drains before returning.
 func forEachImage(suite []sipi.NamedImage, fn func(i int, ni sipi.NamedImage) error) error {
+	return forEachImageCtx(context.Background(), suite, fn)
+}
+
+// forEachImageCtx is forEachImage honoring cancellation: once ctx is
+// done no new images start (in-flight ones finish) and ctx's error is
+// reported if nothing failed first.
+func forEachImageCtx(ctx context.Context, suite []sipi.NamedImage, fn func(i int, ni sipi.NamedImage) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(suite) {
 		workers = len(suite)
@@ -33,7 +41,13 @@ func forEachImage(suite []sipi.NamedImage, fn func(i int, ni sipi.NamedImage) er
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := fn(i, suite[i]); err != nil {
+				// Drain without starting new work after cancellation so
+				// the feeder never blocks.
+				err := ctx.Err()
+				if err == nil {
+					err = fn(i, suite[i])
+				}
+				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

@@ -34,6 +34,24 @@ func Of(img *gray.Image) *Histogram {
 	return &h
 }
 
+// Reset zeroes the histogram in place so a pooled instance can be
+// reused without reallocating.
+func (h *Histogram) Reset() {
+	h.Bins = [Levels]int{}
+	h.N = 0
+}
+
+// OfInto recomputes the histogram of img into h, overwriting any
+// previous contents — the allocation-free counterpart of Of for
+// pooled histograms.
+func OfInto(img *gray.Image, h *Histogram) {
+	h.Reset()
+	for _, p := range img.Pix {
+		h.Bins[p]++
+	}
+	h.N = len(img.Pix)
+}
+
 // FromBins builds a histogram from raw bin counts.
 func FromBins(bins [Levels]int) (*Histogram, error) {
 	var h Histogram

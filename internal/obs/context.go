@@ -1,0 +1,46 @@
+// Context propagation for spans: the engine refactor threads a
+// context.Context end-to-end through the pipeline, and the current
+// span rides along in it so any layer can attach children without an
+// explicit *Span parameter. With tracing disabled every helper here is
+// a no-op that returns the context unchanged, so the hot path pays no
+// context.WithValue allocation.
+package obs
+
+import "context"
+
+// spanCtxKey is the private context key for the current span.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp. A nil span returns
+// ctx unchanged (no allocation on the tracing-disabled path).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil when none
+// (a nil *Span is valid: all its methods are no-ops).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpanCtx opens a span as a child of the span carried by ctx (a
+// root span when ctx carries none) and returns it together with a
+// derived context carrying the new span. When tracing is disabled the
+// returned span is nil and ctx is returned unchanged.
+func StartSpanCtx(ctx context.Context, name string) (*Span, context.Context) {
+	sp := SpanFromContext(ctx).Child(name)
+	if sp == nil {
+		return nil, ctx
+	}
+	return sp, ContextWithSpan(ctx, sp)
+}

@@ -111,17 +111,41 @@ func (s *Span) Child(name string) *Span {
 	}
 }
 
+// The typed setters check for nil before calling set so that with
+// tracing disabled the value is never boxed into an interface — the
+// annotation sites in the pipeline hot path stay allocation-free.
+
 // SetFloat annotates the span. No-op on nil.
-func (s *Span) SetFloat(key string, v float64) { s.set(key, v) }
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
 
 // SetInt annotates the span. No-op on nil.
-func (s *Span) SetInt(key string, v int) { s.set(key, v) }
+func (s *Span) SetInt(key string, v int) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
 
 // SetBool annotates the span. No-op on nil.
-func (s *Span) SetBool(key string, v bool) { s.set(key, v) }
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
 
 // SetString annotates the span. No-op on nil.
-func (s *Span) SetString(key, v string) { s.set(key, v) }
+func (s *Span) SetString(key, v string) {
+	if s == nil {
+		return
+	}
+	s.set(key, v)
+}
 
 func (s *Span) set(key string, v any) {
 	if s == nil {

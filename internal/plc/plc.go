@@ -13,9 +13,11 @@
 package plc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"hebs/internal/invariant"
@@ -58,16 +60,68 @@ type chordTable struct {
 	px, pxx, py, pyy, pxy []float64
 }
 
+// solveScratch is the reusable DP working set: the chord-table prefix
+// sums plus the dp/parent matrices. The GHE curves the HEBS pipeline
+// coarsens always have n = 256 points and a fixed driver segment
+// budget, so a pooled scratch makes repeated solves allocation-free.
+type solveScratch struct {
+	n, m   int
+	table  chordTable
+	dp     [][]float64
+	parent [][]int
+}
+
+var scratchPool sync.Pool
+
+func getScratch(n, m int) *solveScratch {
+	if v := scratchPool.Get(); v != nil {
+		s := v.(*solveScratch)
+		if s.n == n && s.m == m {
+			return s
+		}
+		// Dimensions changed: drop the stale scratch.
+	}
+	s := &solveScratch{
+		n: n, m: m,
+		table: chordTable{
+			px:  make([]float64, n+1),
+			pxx: make([]float64, n+1),
+			py:  make([]float64, n+1),
+			pyy: make([]float64, n+1),
+			pxy: make([]float64, n+1),
+		},
+		dp:     make([][]float64, m+1),
+		parent: make([][]int, m+1),
+	}
+	for k := range s.dp {
+		s.dp[k] = make([]float64, n)
+		s.parent[k] = make([]int, n)
+	}
+	return s
+}
+
+func putScratch(s *solveScratch) { scratchPool.Put(s) }
+
+// newChordTable allocates and fills a standalone chord table outside
+// the scratch pool.
 func newChordTable(pts []transform.Point) *chordTable {
 	n := len(pts)
 	t := &chordTable{
-		pts: pts,
 		px:  make([]float64, n+1),
 		pxx: make([]float64, n+1),
 		py:  make([]float64, n+1),
 		pyy: make([]float64, n+1),
 		pxy: make([]float64, n+1),
 	}
+	t.fill(pts)
+	return t
+}
+
+// fill recomputes the prefix sums for pts. Index 0 of each prefix
+// array is the zero base case; the loop overwrites indices 1..n.
+func (t *chordTable) fill(pts []transform.Point) {
+	t.pts = pts
+	t.px[0], t.pxx[0], t.py[0], t.pyy[0], t.pxy[0] = 0, 0, 0, 0, 0
 	for k, p := range pts {
 		x, y := float64(p.X), p.Y
 		t.px[k+1] = t.px[k] + x
@@ -76,7 +130,6 @@ func newChordTable(pts []transform.Point) *chordTable {
 		t.pyy[k+1] = t.pyy[k] + y*y
 		t.pxy[k+1] = t.pxy[k] + x*y
 	}
-	return t
 }
 
 // at returns e(i, j) for i < j.
@@ -112,7 +165,7 @@ func (t *chordTable) at(i, j int) float64 {
 // The input points must have strictly increasing X and at least two
 // entries; m must satisfy 1 <= m <= len(pts)-1.
 func Coarsen(pts []transform.Point, m int) (*Result, error) {
-	return CoarsenTraced(nil, pts, m)
+	return CoarsenCtx(context.Background(), nil, pts, m)
 }
 
 // CoarsenTraced is Coarsen with the solve's observability spans nested
@@ -121,7 +174,18 @@ func Coarsen(pts []transform.Point, m int) (*Result, error) {
 // get separate child spans so profiles attribute the O(n²) table vs
 // the O(m·n²) transitions.
 func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result, error) {
+	return CoarsenCtx(context.Background(), parentSpan, pts, m)
+}
+
+// CoarsenCtx is CoarsenTraced with cooperative cancellation: the DP is
+// the pipeline's heaviest CPU stage (O(m·n²) transitions), so ctx is
+// checked once per chord-count iteration and the context error is
+// returned as soon as cancellation is observed.
+func CoarsenCtx(ctx context.Context, parentSpan *obs.Span, pts []transform.Point, m int) (*Result, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	n := len(pts)
 	if n < 2 {
 		mErrors.Inc()
@@ -142,26 +206,31 @@ func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result,
 	sp.SetInt("points", n)
 	sp.SetInt("segments", m)
 
+	scratch := getScratch(n, m)
+	defer putScratch(scratch)
+
 	tableSpan := sp.Child("plc.chord_table")
-	cerr := newChordTable(pts)
+	scratch.table.fill(pts)
+	cerr := &scratch.table
 	tableSpan.End()
 
 	// dp[k][j]: minimal total squared error covering points 0..j with k
 	// chords ending exactly at j. parent[k][j] reconstructs the split.
 	dpSpan := sp.Child("plc.dp")
 	const inf = math.MaxFloat64
-	dp := make([][]float64, m+1)
-	parent := make([][]int, m+1)
+	dp, parent := scratch.dp, scratch.parent
 	for k := range dp {
-		dp[k] = make([]float64, n)
-		parent[k] = make([]int, n)
 		for j := range dp[k] {
 			dp[k][j] = inf
 			parent[k][j] = -1
 		}
 	}
 	dp[0][0] = 0
+	var ctxErr error
 	for k := 1; k <= m; k++ {
+		if ctxErr = ctx.Err(); ctxErr != nil {
+			break
+		}
 		for j := k; j < n; j++ {
 			best := inf
 			bestI := -1
@@ -181,6 +250,9 @@ func CoarsenTraced(parentSpan *obs.Span, pts []transform.Point, m int) (*Result,
 		}
 	}
 	dpSpan.End()
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	//hebslint:allow floateq MaxFloat64 is an exact "unreached" marker
 	if dp[m][n-1] == inf {
 		mErrors.Inc()

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"hebs/internal/gray"
 )
@@ -169,6 +170,30 @@ type sat struct {
 	sx, sy, sxx, syy, sxy []int64
 }
 
+// satPool recycles summed-area tables between metric evaluations.
+// The SAT is by far the dominant allocation of a UQI/SSIM call (five
+// (w+1)×(h+1) int64 tables), and both the per-image range bisection and
+// steady-state video evaluate the metric many times at one geometry, so
+// pooling turns the metric allocation-free after the first call.
+var satPool sync.Pool
+
+// getSAT returns a built summed-area table for the pair, reusing a
+// pooled allocation when its geometry matches.
+func getSAT(a, b *gray.Image) *sat {
+	w, h := a.W, a.H
+	if v := satPool.Get(); v != nil {
+		s := v.(*sat)
+		if s.w == w && s.h == h {
+			s.resetBorder()
+			s.build(a, b)
+			return s
+		}
+		// Geometry changed: drop the stale tables and allocate fresh.
+	}
+	return newSAT(a, b)
+}
+
+// newSAT allocates and builds the tables without touching the pool.
 func newSAT(a, b *gray.Image) *sat {
 	w, h := a.W, a.H
 	stride := w + 1
@@ -180,6 +205,30 @@ func newSAT(a, b *gray.Image) *sat {
 		syy: make([]int64, stride*(h+1)),
 		sxy: make([]int64, stride*(h+1)),
 	}
+	s.build(a, b)
+	return s
+}
+
+func putSAT(s *sat) { satPool.Put(s) }
+
+// resetBorder zeroes row 0 and column 0 of each table. build overwrites
+// every interior cell but never touches the zero border the prefix-sum
+// recurrences (and the moments box queries) read.
+func (s *sat) resetBorder() {
+	stride := s.w + 1
+	for _, t := range [...][]int64{s.sx, s.sy, s.sxx, s.syy, s.sxy} {
+		for x := 0; x <= s.w; x++ {
+			t[x] = 0
+		}
+		for y := 1; y <= s.h; y++ {
+			t[y*stride] = 0
+		}
+	}
+}
+
+func (s *sat) build(a, b *gray.Image) {
+	w, h := s.w, s.h
+	stride := w + 1
 	for y := 0; y < h; y++ {
 		var rx, ry, rxx, ryy, rxy int64
 		row := y * w
@@ -200,7 +249,6 @@ func newSAT(a, b *gray.Image) *sat {
 			s.sxy[out+x+1] = s.sxy[prev+x+1] + rxy
 		}
 	}
-	return s
 }
 
 // moments returns the joint moments of the win×win window anchored at
@@ -238,7 +286,8 @@ func UQI(a, b *gray.Image, opts UQIOptions) (float64, error) {
 		return 0, err
 	}
 	win, step := opts.Window, opts.Step
-	tables := newSAT(a, b)
+	tables := getSAT(a, b)
+	defer putSAT(tables)
 	total := 0.0
 	count := 0
 	for y := 0; y+win <= a.H; y += step {
@@ -273,7 +322,8 @@ func SSIM(a, b *gray.Image, opts UQIOptions) (float64, error) {
 		c2 = (0.03 * 255) * (0.03 * 255)
 	)
 	win, step := opts.Window, opts.Step
-	tables := newSAT(a, b)
+	tables := getSAT(a, b)
+	defer putSAT(tables)
 	total := 0.0
 	count := 0
 	for y := 0; y+win <= a.H; y += step {

@@ -94,6 +94,41 @@ func (m *Image) ApplyLUT(lut *transform.LUT) *Image {
 	return out
 }
 
+// ApplyLUTInto is ApplyLUT writing into a caller-provided (typically
+// pooled) destination of the same geometry.
+func (m *Image) ApplyLUTInto(lut *transform.LUT, dst *Image) error {
+	if dst == nil {
+		return errors.New("rgb: ApplyLUTInto with nil destination")
+	}
+	if m.W != dst.W || m.H != dst.H {
+		return fmt.Errorf("rgb: ApplyLUTInto geometry mismatch %dx%d vs %dx%d",
+			m.W, m.H, dst.W, dst.H)
+	}
+	for i, p := range m.Pix {
+		dst.Pix[i] = lut[p]
+	}
+	return nil
+}
+
+// LumaInto is Luma writing into a caller-provided (typically pooled)
+// grayscale destination of the same geometry.
+func (m *Image) LumaInto(dst *gray.Image) error {
+	if dst == nil {
+		return errors.New("rgb: LumaInto with nil destination")
+	}
+	if m.W != dst.W || m.H != dst.H {
+		return fmt.Errorf("rgb: LumaInto geometry mismatch %dx%d vs %dx%d",
+			m.W, m.H, dst.W, dst.H)
+	}
+	for p := 0; p < m.W*m.H; p++ {
+		r := int(m.Pix[3*p])
+		g := int(m.Pix[3*p+1])
+		b := int(m.Pix[3*p+2])
+		dst.Pix[p] = uint8((299*r + 587*g + 114*b + 500) / 1000)
+	}
+	return nil
+}
+
 // FromStdImage converts any image.Image.
 func FromStdImage(src image.Image) *Image {
 	bounds := src.Bounds()

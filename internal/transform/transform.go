@@ -34,6 +34,23 @@ func (l *LUT) Apply(src *gray.Image) *gray.Image {
 	return out
 }
 
+// ApplyInto transforms every pixel of src through the LUT into dst,
+// which must have the same geometry as src. The engine hot path uses
+// it to remap frames into pooled buffers without allocating.
+func (l *LUT) ApplyInto(src, dst *gray.Image) error {
+	if src == nil || dst == nil {
+		return errors.New("transform: ApplyInto with nil image")
+	}
+	if src.W != dst.W || src.H != dst.H {
+		return fmt.Errorf("transform: ApplyInto geometry mismatch %dx%d vs %dx%d",
+			src.W, src.H, dst.W, dst.H)
+	}
+	for i, p := range src.Pix {
+		dst.Pix[i] = l[p]
+	}
+	return nil
+}
+
 // IsMonotone reports whether the LUT is non-decreasing — the paper
 // requires Φ to be monotonic so that grayscale ordering (and hence
 // image structure) is preserved.

@@ -1,0 +1,77 @@
+package video
+
+import (
+	"context"
+	"testing"
+
+	"hebs/internal/core"
+	"hebs/internal/gray"
+	"hebs/internal/sipi"
+)
+
+// steadyClip is a static 16-frame clip: the steady-state video case
+// the engine's pools and plan cache target — after the first frame the
+// histogram never changes, so range reuse and plan-cache hits should
+// make per-frame work approach a pure LUT apply.
+func steadyClip(b *testing.B) *Sequence {
+	b.Helper()
+	img, err := sipi.Generate("lena", 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frames := make([]*gray.Image, 16)
+	for i := range frames {
+		frames[i] = img
+	}
+	seq, err := NewSequence(frames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return seq
+}
+
+func steadyPolicy() Policy {
+	return Policy{
+		MaxStep:        0.04,
+		ReuseThreshold: 4,
+		Options:        core.Options{MaxDistortionPercent: 10, ExactSearch: true},
+	}
+}
+
+// BenchmarkEngineVideoSteadyState is the PR's headline number: the
+// per-clip cost of the pooled engine path on a static scene, with one
+// engine shared across iterations so pools and the plan cache are
+// warm. Compare against BenchmarkLegacyVideoSteadyState (allocating
+// path) — numbers are recorded in EXPERIMENTS.md.
+func BenchmarkEngineVideoSteadyState(b *testing.B) {
+	seq := steadyClip(b)
+	pol := steadyPolicy()
+	pol.Engine = core.NewEngine(core.EngineOptions{})
+	ctx := context.Background()
+	// Warm the pools and the plan cache outside the measurement.
+	if _, err := ProcessContext(ctx, seq, pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProcessContext(ctx, seq, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLegacyVideoSteadyState is the same workload through the
+// compat wrapper (fresh engine per clip, no cross-clip pooling) — the
+// pre-refactor comparison point.
+func BenchmarkLegacyVideoSteadyState(b *testing.B) {
+	seq := steadyClip(b)
+	pol := steadyPolicy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Process(seq, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

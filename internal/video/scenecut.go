@@ -6,9 +6,11 @@
 package video
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"hebs/internal/core"
 	"hebs/internal/histogram"
 	"hebs/internal/invariant"
 	"hebs/internal/obs"
@@ -86,6 +88,15 @@ func DetectCuts(seq *Sequence, threshold float64) ([]int, error) {
 // happens to land on a similar β (where the β-threshold would not).
 // cutDistance <= 0 selects DefaultCutDistance.
 func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*Result, error) {
+	return ProcessWithCutDetectionContext(context.Background(), seq, pol, cutDistance)
+}
+
+// ProcessWithCutDetectionContext is ProcessWithCutDetection with
+// cooperative cancellation: a cancellation mid-clip returns the frames
+// of the scenes completed (plus the cancelled scene's completed
+// prefix), aggregated, together with ctx's error. All scenes share one
+// engine so frame buffers and cached plans carry across cuts.
+func ProcessWithCutDetectionContext(ctx context.Context, seq *Sequence, pol Policy, cutDistance float64) (*Result, error) {
 	if seq == nil || len(seq.Frames) == 0 {
 		return nil, errors.New("video: empty sequence")
 	}
@@ -102,8 +113,12 @@ func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*R
 	// snap to the new scene's target).
 	scenePol := pol
 	scenePol.CutThreshold = 0
+	if scenePol.Engine == nil {
+		scenePol.Engine = core.NewEngine(core.EngineOptions{})
+	}
 	res := &Result{}
 	start := 0
+	var clipErr error
 	flush := func(end int) error {
 		if end <= start {
 			return nil
@@ -113,14 +128,22 @@ func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*R
 			return err
 		}
 		scenePol.frameOffset = start
-		r, err := Process(sub, scenePol)
+		r, err := ProcessContext(ctx, sub, scenePol)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) && r != nil {
+				res.Frames = append(res.Frames, r.Frames...)
+				clipErr = cerr
+				return nil
+			}
 			return fmt.Errorf("video: scene at frame %d: %w", start, err)
 		}
 		res.Frames = append(res.Frames, r.Frames...)
 		return nil
 	}
 	for i := range seq.Frames {
+		if clipErr != nil {
+			break
+		}
 		if i > 0 && isCut[i] {
 			if err := flush(i); err != nil {
 				return nil, err
@@ -128,10 +151,12 @@ func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*R
 			start = i
 		}
 	}
-	if err := flush(len(seq.Frames)); err != nil {
-		return nil, err
+	if clipErr == nil {
+		if err := flush(len(seq.Frames)); err != nil {
+			return nil, err
+		}
 	}
-	// Aggregate like Process.
+	// Aggregate like Process (over the completed prefix if cancelled).
 	var sumSave, sumDelta, maxDelta float64
 	for i, f := range res.Frames {
 		sumSave += f.SavingPercent
@@ -146,10 +171,15 @@ func ProcessWithCutDetection(seq *Sequence, pol Policy, cutDistance float64) (*R
 			}
 		}
 	}
-	res.MeanSaving = sumSave / float64(len(res.Frames))
+	if len(res.Frames) > 0 {
+		res.MeanSaving = sumSave / float64(len(res.Frames))
+	}
 	if len(res.Frames) > 1 {
 		res.MeanAbsDeltaBeta = sumDelta / float64(len(res.Frames)-1)
 	}
 	res.MaxAbsDeltaBeta = maxDelta
+	if clipErr != nil {
+		return res, clipErr
+	}
 	return res, nil
 }

@@ -8,6 +8,7 @@
 package video
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"image"
@@ -126,6 +127,12 @@ type Policy struct {
 	// HEBS options applied per frame. DynamicRange/budget semantics as
 	// in core.Options.
 	Options core.Options
+	// Engine, when non-nil, runs the per-frame pipeline through the
+	// given engine so its frame-buffer pools and plan LRU persist
+	// across clips — the steady-state zero-allocation path. Nil means
+	// a private engine per Process call (pooling still amortizes
+	// across the clip's frames).
+	Engine *core.Engine
 	// frameOffset shifts the frame indices reported on observability
 	// spans; ProcessWithCutDetection sets it so scene-local runs still
 	// report clip-global frame numbers.
@@ -165,11 +172,26 @@ type Result struct {
 // is harmful. A target drop larger than CutThreshold is treated as a
 // scene cut and snaps immediately (the cut masks the flicker).
 func Process(seq *Sequence, pol Policy) (*Result, error) {
+	return ProcessContext(context.Background(), seq, pol)
+}
+
+// ProcessContext is Process with cooperative cancellation: the context
+// is checked before each frame (and inside the pipeline stages), and a
+// cancellation mid-clip returns the frames completed so far — already
+// aggregated — together with ctx's error, so a partial timeline can
+// still be reported. Pipeline frame buffers are drawn from (and
+// returned to) the policy's engine, so a steady-state clip allocates
+// almost nothing per frame.
+func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, error) {
 	if seq == nil || len(seq.Frames) == 0 {
 		return nil, errors.New("video: empty sequence")
 	}
 	if pol.MaxStep < 0 || pol.CutThreshold < 0 || pol.ReuseThreshold < 0 {
 		return nil, fmt.Errorf("video: negative policy parameters %+v", pol)
+	}
+	eng := pol.Engine
+	if eng == nil {
+		eng = core.NewEngine(core.EngineOptions{})
 	}
 	sub := power.DefaultSubsystem
 	if pol.Options.Subsystem != nil {
@@ -183,6 +205,7 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 	prevBeta := math.NaN()
 	prevRange := 0
 	var est *histogram.Estimator
+	var frameHist histogram.Histogram // reused across frames (estimator copies)
 	if pol.ReuseThreshold > 0 {
 		var err error
 		est, err = histogram.NewEstimator(0.5)
@@ -200,7 +223,8 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 		opts := pol.Options
 		opts.Trace = fsp // attribute the pipeline run to this frame
 		if est != nil {
-			h := histogram.Of(frame)
+			h := &frameHist
+			histogram.OfInto(frame, h)
 			if est.Ready() && prevRange > 0 {
 				d, err := est.Distance(h)
 				if err != nil {
@@ -208,9 +232,11 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 				}
 				if d < pol.ReuseThreshold {
 					// Static scene: skip the range search, keep the
-					// previous admissible range.
+					// previous admissible range (which makes the
+					// per-image exact search moot as well).
 					opts.DynamicRange = prevRange
 					opts.MaxDistortionPercent = 0
+					opts.ExactSearch = false
 					fsp.SetBool("range_reused", true)
 					mRangeReuse.Inc()
 				}
@@ -219,7 +245,7 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 				return FrameResult{}, err
 			}
 		}
-		r, err := core.Process(frame, opts)
+		r, err := eng.Process(ctx, frame, opts)
 		if err != nil {
 			return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
 		}
@@ -251,13 +277,16 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 			mSlewLimited.Inc()
 			rng, err := power.RangeForBeta(applied, transform.Levels)
 			if err != nil {
+				r.Release()
 				return FrameResult{}, err
 			}
 			opts := pol.Options
 			opts.Trace = fsp
 			opts.DynamicRange = rng
 			opts.MaxDistortionPercent = 0
-			r, err = core.Process(frame, opts)
+			opts.ExactSearch = false
+			r.Release()
+			r, err = eng.Process(ctx, frame, opts)
 			if err != nil {
 				return FrameResult{}, fmt.Errorf("video: frame %d (smoothed): %w", i, err)
 			}
@@ -266,6 +295,7 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 		fr.Beta = r.Beta
 		fr.Distortion = r.AchievedDistortion
 		saving, err := sub.SavingPercent(frame, r.Transformed, r.Beta)
+		r.Release()
 		if err != nil {
 			return FrameResult{}, err
 		}
@@ -287,15 +317,26 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 		fsp.SetFloat("saving_pct", fr.SavingPercent)
 		return fr, nil
 	}
+	var clipErr error
 	for i, frame := range seq.Frames {
+		if err := ctx.Err(); err != nil {
+			clipErr = err
+			break
+		}
 		fr, err := processFrame(i, frame)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+				// Cancellation surfaced mid-frame: keep the completed
+				// prefix and report the cancellation itself.
+				clipErr = cerr
+				break
+			}
 			return nil, err
 		}
 		res.Frames = append(res.Frames, fr)
 		prevBeta = fr.Beta
 	}
-	// Aggregate.
+	// Aggregate (over the completed prefix when cancelled).
 	var sumSave, sumDelta, maxDelta float64
 	for i, f := range res.Frames {
 		sumSave += f.SavingPercent
@@ -307,7 +348,9 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 			}
 		}
 	}
-	res.MeanSaving = sumSave / float64(len(res.Frames))
+	if len(res.Frames) > 0 {
+		res.MeanSaving = sumSave / float64(len(res.Frames))
+	}
 	if len(res.Frames) > 1 {
 		res.MeanAbsDeltaBeta = sumDelta / float64(len(res.Frames)-1)
 	}
@@ -315,5 +358,8 @@ func Process(seq *Sequence, pol Policy) (*Result, error) {
 	gMeanSaving.Set(res.MeanSaving)
 	gMeanAbsDelta.Set(res.MeanAbsDeltaBeta)
 	gMaxAbsDelta.Set(res.MaxAbsDeltaBeta)
+	if clipErr != nil {
+		return res, clipErr
+	}
 	return res, nil
 }
