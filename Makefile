@@ -3,7 +3,8 @@ GO ?= go
 # Per-target budget for fuzz-smoke (native Go fuzzing).
 FUZZTIME ?= 5s
 
-.PHONY: all build verify check lint fuzz-smoke bench bench-guard clean
+.PHONY: all build verify check lint fuzz-smoke bench bench-guard \
+	bench-baseline bench-compare bench-smoke clean
 
 all: build
 
@@ -36,6 +37,7 @@ FUZZ_TARGETS := \
 	FuzzSolveRange:./internal/equalize \
 	FuzzCoarsen:./internal/plc \
 	FuzzDetectCuts:./internal/video \
+	FuzzOfIntoShards:./internal/histogram \
 	FuzzDecodePNM:./internal/imageio \
 	FuzzEncodeDecodePGM:./internal/imageio
 
@@ -49,6 +51,29 @@ fuzz-smoke:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Perf baselining (stdlib-only, no external tooling): bench-baseline
+# writes the stable perf schema (hebsbench -only perf) to $(BENCH_OLD);
+# bench-compare measures fresh numbers into $(BENCH_NEW) and fails on
+# any ns/op growth beyond $(BENCH_TOLERANCE) percent or lost coverage.
+# BENCH_WORKERS=0 measures workers=1 plus workers=NumCPU. ns/op is
+# hardware-dependent — compare only files produced on the same machine.
+BENCH_OLD ?= BENCH_pipeline.json
+BENCH_NEW ?= BENCH_pipeline.new.json
+BENCH_TOLERANCE ?= 10
+BENCH_WORKERS ?= 0
+
+bench-baseline:
+	$(GO) run ./cmd/hebsbench -only perf -workers $(BENCH_WORKERS) -json $(BENCH_OLD)
+
+bench-compare:
+	$(GO) run ./cmd/hebsbench -only perf -workers $(BENCH_WORKERS) -json $(BENCH_NEW)
+	$(GO) run ./cmd/hebsbenchcmp -old $(BENCH_OLD) -new $(BENCH_NEW) -tol $(BENCH_TOLERANCE)
+
+# Every benchmark compiles and runs one iteration — catches bit-rot in
+# bench code without paying for real measurements.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Asserts disabled tracing stays within noise: the nil-sink guard in
 # internal/obs plus the traced-vs-direct pipeline benchmark pair.

@@ -54,6 +54,7 @@ func run(args []string, out io.Writer) (err error) {
 	resize := fs.Int("resize", 0, "resample the input to this edge length before processing (0 = keep)")
 	colorMode := fs.Bool("color", false, "keep color: decide on luma, apply Λ to all channels")
 	curvePath := fs.String("curve", "", "characteristic-curve JSON (from hebschar -save); implies curve-lookup mode")
+	workers := fs.Int("workers", 1, "worker goroutines for the parallel pipeline (0 = all CPUs, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,16 +122,23 @@ func run(args []string, out io.Writer) (err error) {
 		opts.Curve = curve
 		opts.ExactSearch = false
 	}
+	// The CLI convention maps 0 to "all CPUs"; the engine's own zero
+	// value means serial, which the flag expresses as 1 (the default).
+	ew := *workers
+	if ew == 0 {
+		ew = -1
+	}
+	eng := core.NewEngine(core.EngineOptions{Workers: ew})
 	var res *core.Result
 	var colorRes *core.ColorResult
 	if *colorMode {
-		colorRes, err = core.ProcessColorContext(ctx, colorImg, opts)
+		colorRes, err = eng.ProcessColor(ctx, colorImg, opts)
 		if err != nil {
 			return err
 		}
 		res = colorRes.Result
 	} else {
-		res, err = core.ProcessContext(ctx, img, opts)
+		res, err = eng.Process(ctx, img, opts)
 		if err != nil {
 			return err
 		}

@@ -8,9 +8,11 @@
 //
 // With no flags it runs everything at the default benchmark image size
 // and prints to stdout. -only selects a comma-separated subset of:
-// fig6a, fig6b, fig7, fig8, table1, compare, ablations. -dump writes
-// the Figure 8 original / transformed / compensated-preview images as
-// PGM files (the quantitative counterpart of the paper's thumbnails).
+// fig6a, fig6b, fig7, fig8, table1, compare, ablations, and the opt-in
+// perf section (wall-clock/alloc measurements, excluded from the
+// default run). -dump writes the Figure 8 original / transformed /
+// compensated-preview images as PGM files (the quantitative
+// counterpart of the paper's thumbnails).
 package main
 
 import (
@@ -22,23 +24,46 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 
 	"hebs/internal/core"
 	"hebs/internal/experiments"
+	"hebs/internal/gray"
 	"hebs/internal/imageio"
 	"hebs/internal/obs"
 	"hebs/internal/report"
 	"hebs/internal/sipi"
+	"hebs/internal/video"
 )
+
+// benchSchemaVersion identifies the -json layout. Bump it when a field
+// changes meaning; cmd/hebsbenchcmp refuses to compare across versions.
+const benchSchemaVersion = 1
 
 // benchDoc is the -json output: every emitted table in machine-readable
 // form plus the observability registry snapshot, so BENCH_*.json perf
 // and quality trajectories can be tracked across PRs.
 type benchDoc struct {
-	ImageSize int          `json:"image_size"`
-	Tables    []benchTable `json:"tables"`
-	Metrics   obs.Snapshot `json:"metrics"`
+	SchemaVersion int          `json:"schema_version"`
+	ImageSize     int          `json:"image_size"`
+	Tables        []benchTable `json:"tables"`
+	Perf          []perfRecord `json:"perf,omitempty"`
+	Metrics       obs.Snapshot `json:"metrics"`
+}
+
+// perfRecord is one stable machine-readable benchmark measurement —
+// the schema cmd/hebsbenchcmp consumes. Records are keyed by
+// (name, workers); everything else is the measurement.
+type perfRecord struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MBPerClip   float64 `json:"mb_per_clip"`
 }
 
 // benchTable mirrors one report.Table.
@@ -62,7 +87,8 @@ func run(args []string, out io.Writer) (err error) {
 	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	dumpDir := fs.String("dump", "", "write the Figure 8 image dumps (PGM) into this directory")
-	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations")
+	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations,perf (perf is opt-in)")
+	workers := fs.Int("workers", 0, "worker goroutines for the suite fan-outs and perf runs (0 = all CPUs, 1 = serial)")
 	jsonOut := fs.String("json", "", "write the emitted tables plus a metrics snapshot as JSON to this file")
 	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -81,7 +107,7 @@ func run(args []string, out io.Writer) (err error) {
 	// kills the process via the restored default handler).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	cfg := experiments.Config{ImageSize: *size}.WithContext(ctx)
+	cfg := experiments.Config{ImageSize: *size, Workers: *workers}.WithContext(ctx)
 	selected := map[string]bool{}
 	if *only != "" {
 		for _, s := range strings.Split(*only, ",") {
@@ -96,7 +122,7 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 
-	doc := benchDoc{ImageSize: *size}
+	doc := benchDoc{SchemaVersion: benchSchemaVersion, ImageSize: *size}
 	emit := func(name, title string, tb *report.Table) error {
 		if err := report.Section(out, title); err != nil {
 			return err
@@ -239,6 +265,27 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 
+	// The perf section is opt-in (`-only perf`): testing.Benchmark runs
+	// take seconds each and have no place in the default artifact run.
+	if selected["perf"] {
+		recs, err := runPerf(ctx, *workers)
+		if err != nil {
+			return err
+		}
+		tb := report.NewTable("name", "workers", "gomaxprocs", "ns_per_op", "allocs_per_op", "mb_per_clip")
+		for _, r := range recs {
+			tb.MustAddRow(r.Name, report.I(r.Workers), report.I(r.GOMAXPROCS),
+				report.F(r.NsPerOp, 0), report.I(int(r.AllocsPerOp)), report.F(r.MBPerClip, 4))
+		}
+		if err := report.Section(out, "Perf — pipeline wall-clock and allocations (stable schema)"); err != nil {
+			return err
+		}
+		if err := tb.WriteText(out); err != nil {
+			return err
+		}
+		doc.Perf = recs
+	}
+
 	if *jsonOut != "" {
 		// Snapshot last so the metrics cover the runs above.
 		doc.Metrics = obs.Default().Snapshot()
@@ -339,6 +386,108 @@ func runAblations(cfg experiments.Config, emit func(name, title string, tb *repo
 		tb.MustAddRow(r.Model, report.I(r.Segments), report.F(r.MeanMSE, 4))
 	}
 	return emit("ablation_lc", "Ablation — LC cell nonlinearity vs ladder tap count at R=150", tb)
+}
+
+// perfWorkerSet resolves the -workers flag into the distinct worker
+// counts to measure: always the serial baseline, plus the parallel
+// count when it differs.
+func perfWorkerSet(workers int) []int {
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	if resolved <= 1 {
+		return []int{1}
+	}
+	return []int{1, resolved}
+}
+
+// runPerf measures the two headline paths — the 16-frame steady-state
+// clip through the video scheduler, and the single-image exact range
+// search — at each worker count, via testing.Benchmark so iteration
+// counts self-calibrate. The records are the stable schema consumed by
+// cmd/hebsbenchcmp and checked into BENCH_pipeline.json; mb_per_clip
+// is the heap allocated per operation (one clip / one image) in MB.
+func runPerf(ctx context.Context, workers int) ([]perfRecord, error) {
+	frame, err := sipi.Generate("lena", 128, 128)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]*gray.Image, 16)
+	for i := range frames {
+		frames[i] = frame
+	}
+	seq, err := video.NewSequence(frames)
+	if err != nil {
+		return nil, err
+	}
+	still, err := sipi.Generate("west", 256, 256)
+	if err != nil {
+		return nil, err
+	}
+
+	var recs []perfRecord
+	record := func(name string, w int, op func() error) error {
+		// Warm the pools and caches outside the measurement.
+		if err := op(); err != nil {
+			return err
+		}
+		var benchErr error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if benchErr != nil {
+					return
+				}
+				if err := op(); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+		if benchErr != nil {
+			return benchErr
+		}
+		recs = append(recs, perfRecord{
+			Name:        name,
+			Workers:     w,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NsPerOp:     float64(br.NsPerOp()),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			MBPerClip:   float64(br.AllocedBytesPerOp()) / 1e6,
+		})
+		return nil
+	}
+
+	for _, w := range perfWorkerSet(workers) {
+		eng := core.NewEngine(core.EngineOptions{Workers: w})
+		pol := video.Policy{
+			MaxStep:        0.04,
+			ReuseThreshold: 4,
+			Workers:        w,
+			Engine:         eng,
+			Options:        core.Options{MaxDistortionPercent: 10, ExactSearch: true},
+		}
+		if err := record("video/steady16", w, func() error {
+			_, err := video.ProcessContext(ctx, seq, pol)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		opts := core.Options{MaxDistortionPercent: 10, ExactSearch: true}
+		if err := record("image/exact256", w, func() error {
+			res, err := eng.Process(ctx, still, opts)
+			if err != nil {
+				return err
+			}
+			res.Release()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return recs, nil
 }
 
 // dumpFigure8 writes the original / transformed / compensated preview

@@ -1,0 +1,145 @@
+// Command hebsbenchcmp compares two hebsbench -json perf sections and
+// fails on wall-clock regressions — the guard behind `make
+// bench-compare`. It is deliberately stdlib-only and schema-driven so
+// a checked-in baseline (BENCH_pipeline.json) can gate PRs without any
+// benchmark tooling beyond the repo itself.
+//
+// Usage:
+//
+//	hebsbenchcmp -old BENCH_pipeline.json -new /tmp/perf.json [-tol 10]
+//
+// Records are matched by (name, workers). A matched record whose
+// ns_per_op grew by more than -tol percent is a regression; a record
+// present in the baseline but missing from the new run is lost
+// coverage. Either fails the run with exit status 1. Records new in
+// the fresh run are reported but do not fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// perfDoc is the subset of the hebsbench -json document the comparator
+// consumes. Unknown fields are ignored so the schema can grow.
+type perfDoc struct {
+	SchemaVersion int          `json:"schema_version"`
+	Perf          []perfRecord `json:"perf"`
+}
+
+type perfRecord struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerClip   float64 `json:"mb_per_clip"`
+}
+
+// key identifies a measurement across runs.
+type key struct {
+	Name    string
+	Workers int
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hebsbenchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hebsbenchcmp", flag.ContinueOnError)
+	fs.SetOutput(out)
+	oldPath := fs.String("old", "", "baseline hebsbench -json file")
+	newPath := fs.String("new", "", "fresh hebsbench -json file to compare against the baseline")
+	tol := fs.Float64("tol", 10, "maximum tolerated ns_per_op growth in percent")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return fmt.Errorf("both -old and -new are required")
+	}
+	if *tol < 0 {
+		return fmt.Errorf("negative -tol %v", *tol)
+	}
+	oldDoc, err := load(*oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := load(*newPath)
+	if err != nil {
+		return err
+	}
+	if oldDoc.SchemaVersion != newDoc.SchemaVersion {
+		return fmt.Errorf("schema version mismatch: baseline v%d, new v%d",
+			oldDoc.SchemaVersion, newDoc.SchemaVersion)
+	}
+	if len(oldDoc.Perf) == 0 {
+		return fmt.Errorf("%s has no perf records (run hebsbench -only perf -json)", *oldPath)
+	}
+
+	newByKey := map[key]perfRecord{}
+	for _, r := range newDoc.Perf {
+		newByKey[key{r.Name, r.Workers}] = r
+	}
+	oldKeys := map[key]bool{}
+
+	// Stable report order: by name, then workers.
+	olds := append([]perfRecord(nil), oldDoc.Perf...)
+	sort.Slice(olds, func(i, j int) bool {
+		if olds[i].Name != olds[j].Name {
+			return olds[i].Name < olds[j].Name
+		}
+		return olds[i].Workers < olds[j].Workers
+	})
+
+	failed := false
+	for _, o := range olds {
+		k := key{o.Name, o.Workers}
+		oldKeys[k] = true
+		n, ok := newByKey[k]
+		if !ok {
+			failed = true
+			fmt.Fprintf(out, "MISSING  %-20s workers=%-3d present in baseline, absent from new run\n",
+				o.Name, o.Workers)
+			continue
+		}
+		deltaPct := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		status := "ok"
+		if deltaPct > *tol {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(out, "%-10s %-20s workers=%-3d ns/op %12.0f -> %12.0f  (%+.1f%%, tol %.1f%%)  allocs %d -> %d\n",
+			status, o.Name, o.Workers, o.NsPerOp, n.NsPerOp, deltaPct, *tol,
+			o.AllocsPerOp, n.AllocsPerOp)
+	}
+	for _, n := range newDoc.Perf {
+		if !oldKeys[key{n.Name, n.Workers}] {
+			fmt.Fprintf(out, "new       %-20s workers=%-3d ns/op %12.0f (no baseline)\n",
+				n.Name, n.Workers, n.NsPerOp)
+		}
+	}
+	if failed {
+		return fmt.Errorf("perf comparison failed (tolerance %.1f%%)", *tol)
+	}
+	return nil
+}
+
+func load(path string) (*perfDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc perfDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}

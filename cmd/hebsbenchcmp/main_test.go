@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDoc(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baseline = `{"schema_version":1,"perf":[
+	{"name":"video/steady16","workers":1,"ns_per_op":1000000,"allocs_per_op":23},
+	{"name":"video/steady16","workers":4,"ns_per_op":400000,"allocs_per_op":34}
+]}`
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", baseline)
+	newPath := writeDoc(t, "new.json", `{"schema_version":1,"perf":[
+		{"name":"video/steady16","workers":1,"ns_per_op":1050000,"allocs_per_op":23},
+		{"name":"video/steady16","workers":4,"ns_per_op":410000,"allocs_per_op":34},
+		{"name":"image/exact256","workers":1,"ns_per_op":900000,"allocs_per_op":1}
+	]}`)
+	var sb strings.Builder
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-tol", "10"}, &sb); err != nil {
+		t.Fatalf("within-tolerance compare failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no baseline") {
+		t.Errorf("new-record note missing from report:\n%s", sb.String())
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", baseline)
+	newPath := writeDoc(t, "new.json", `{"schema_version":1,"perf":[
+		{"name":"video/steady16","workers":1,"ns_per_op":1200000,"allocs_per_op":23},
+		{"name":"video/steady16","workers":4,"ns_per_op":400000,"allocs_per_op":34}
+	]}`)
+	var sb strings.Builder
+	err := run([]string{"-old", oldPath, "-new", newPath, "-tol", "10"}, &sb)
+	if err == nil {
+		t.Fatalf("20%% regression passed a 10%% tolerance:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", sb.String())
+	}
+	// The same delta passes a looser gate.
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-tol", "25"}, &strings.Builder{}); err != nil {
+		t.Errorf("20%% regression failed a 25%% tolerance: %v", err)
+	}
+}
+
+func TestCompareMissingRecordFails(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", baseline)
+	newPath := writeDoc(t, "new.json", `{"schema_version":1,"perf":[
+		{"name":"video/steady16","workers":1,"ns_per_op":1000000,"allocs_per_op":23}
+	]}`)
+	var sb strings.Builder
+	if err := run([]string{"-old", oldPath, "-new", newPath}, &sb); err == nil {
+		t.Fatalf("lost coverage passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "MISSING") {
+		t.Errorf("report does not flag the missing record:\n%s", sb.String())
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", baseline)
+	newPath := writeDoc(t, "new.json", `{"schema_version":2,"perf":[
+		{"name":"video/steady16","workers":1,"ns_per_op":1000000}
+	]}`)
+	if err := run([]string{"-old", oldPath, "-new", newPath}, &strings.Builder{}); err == nil {
+		t.Fatal("schema version mismatch accepted")
+	}
+}
+
+func TestCompareEmptyBaselineRejected(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", `{"schema_version":1,"perf":[]}`)
+	if err := run([]string{"-old", oldPath, "-new", oldPath}, &strings.Builder{}); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -35,6 +35,7 @@ func run(args []string, out io.Writer) (err error) {
 	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
 	samples := fs.Int("samples", 21, "sample count for the power curves")
 	save := fs.String("save", "", "write the fitted characteristic curve as JSON (for cmd/hebs -curve)")
+	workers := fs.Int("workers", 0, "worker goroutines for the suite fan-outs (0 = all CPUs, 1 = serial)")
 	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,7 +52,7 @@ func run(args []string, out io.Writer) (err error) {
 	// SIGINT cancels the characterization runs between images.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	cfg := experiments.Config{ImageSize: *size}.WithContext(ctx)
+	cfg := experiments.Config{ImageSize: *size, Workers: *workers}.WithContext(ctx)
 
 	if err := report.Section(out, "CCFL model (Eq. 11, LP064V1 coefficients)"); err != nil {
 		return err

@@ -46,6 +46,7 @@ func run(args []string, out io.Writer) (err error) {
 	cutDetect := fs.Bool("cutdetect", true, "use histogram scene-cut detection for snapping")
 	reuse := fs.Float64("reuse", 0, "static-scene reuse threshold in EMD levels (0 disables)")
 	size := fs.Int("size", 96, "frame edge length")
+	workers := fs.Int("workers", 1, "worker goroutines for the pipelined scheduler (0 = all CPUs, 1 = serial)")
 	timeline := fs.Bool("timeline", false, "print the per-frame span timeline (stage durations)")
 	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -74,9 +75,16 @@ func run(args []string, out io.Writer) (err error) {
 	if *reuse < 0 {
 		return fmt.Errorf("negative -reuse %v", *reuse)
 	}
+	// The CLI convention maps 0 to "all CPUs"; the policy's own zero
+	// value means serial, which the flag expresses as 1 (the default).
+	pw := *workers
+	if pw == 0 {
+		pw = -1
+	}
 	pol := video.Policy{
 		MaxStep:        *maxStep,
 		ReuseThreshold: *reuse,
+		Workers:        pw,
 		Options:        core.Options{MaxDistortionPercent: *budget, ExactSearch: true},
 	}
 	// SIGINT cancels the clip between frames; the frames finished so

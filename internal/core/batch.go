@@ -7,11 +7,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"hebs/internal/gray"
 	"hebs/internal/obs"
+	"hebs/internal/parallel"
 )
 
 // ProcessBatch runs Process over every image concurrently (bounded by
@@ -67,57 +66,21 @@ func (e *Engine) ProcessBatch(ctx context.Context, imgs []*gray.Image, opts Opti
 		}
 	}
 	results := make([]*Result, len(imgs))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(imgs) {
-		workers = len(imgs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// After cancellation keep draining the channel so the
-				// feeder never blocks, but start no new pipeline runs.
-				if err := ctx.Err(); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: batch image %d: %w", i, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				res, err := e.Process(ctx, imgs[i], opts)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: batch image %d: %w", i, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	for i := range imgs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
+	err := parallel.ForEach(ctx, len(imgs), 0, func(i int) error {
+		res, err := e.Process(ctx, imgs[i], opts)
+		if err != nil {
+			return fmt.Errorf("core: batch image %d: %w", i, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
 		// Return completed frames to the pool so an aborted batch
 		// leaves the engine's in-use count where it started.
 		for _, r := range results {
 			r.Release()
 		}
-		return nil, firstErr
+		return nil, err
 	}
 	return results, nil
 }

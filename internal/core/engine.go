@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +73,16 @@ type EngineOptions struct {
 	// DefaultPlanCacheSize, a negative value disables caching (every
 	// PlanFor recomputes, emitting the full equalize/plc span set).
 	PlanCacheSize int
+
+	// Workers bounds intra-frame parallelism: sharded histogram
+	// accumulation, sharded Λ application, and the speculative exact
+	// range search. 0 or 1 keeps every stage serial (the default), n >
+	// 1 allows up to n goroutines per stage, and a negative value
+	// selects GOMAXPROCS. Outputs are identical at every setting — the
+	// sharded kernels carry an exact-equality guarantee — and small
+	// frames stay serial regardless (the kernels gate on a per-shard
+	// work floor).
+	Workers int
 }
 
 // Engine runs the HEBS pipeline with reusable scratch state: pooled
@@ -81,6 +92,10 @@ type EngineOptions struct {
 // value is not valid — use NewEngine.
 type Engine struct {
 	planCache *planCache
+
+	// workers is the resolved EngineOptions.Workers: >= 1, where 1
+	// means every stage runs serially.
+	workers int
 
 	grayPool sync.Pool
 	rgbPool  sync.Pool
@@ -98,7 +113,7 @@ type Engine struct {
 
 // NewEngine returns an Engine with the given options.
 func NewEngine(opts EngineOptions) *Engine {
-	e := &Engine{}
+	e := &Engine{workers: resolveWorkers(opts.Workers)}
 	size := opts.PlanCacheSize
 	if size == 0 {
 		size = DefaultPlanCacheSize
@@ -108,6 +123,22 @@ func NewEngine(opts EngineOptions) *Engine {
 	}
 	return e
 }
+
+// resolveWorkers maps the Workers convention (0/1 serial, n > 1
+// bounded, negative GOMAXPROCS) to a concrete count >= 1.
+func resolveWorkers(n int) int {
+	if n < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Workers reports the engine's resolved intra-frame worker bound (1
+// means serial).
+func (e *Engine) Workers() int { return e.workers }
 
 var (
 	defaultEngineOnce sync.Once
@@ -380,8 +411,10 @@ func (e *Engine) reconForRange(r int) (*transform.LUT, error) {
 
 // rangeReductionDistortion is chart.RangeReductionDistortion through
 // the engine's reconstruction cache and a caller-provided scratch
-// buffer: numerically identical, allocation-free once warm.
-func (e *Engine) rangeReductionDistortion(img *gray.Image, r int, metric chart.Metric, scratch *gray.Image) (float64, error) {
+// buffer: numerically identical, allocation-free once warm. shards
+// bounds the remap's intra-frame parallelism (1 = serial; candidate
+// evaluations already running on pool workers pass 1).
+func (e *Engine) rangeReductionDistortion(img *gray.Image, r int, metric chart.Metric, scratch *gray.Image, shards int) (float64, error) {
 	recon, err := e.reconForRange(r)
 	if err != nil {
 		return 0, err
@@ -389,7 +422,7 @@ func (e *Engine) rangeReductionDistortion(img *gray.Image, r int, metric chart.M
 	if metric == nil {
 		metric = chart.UQIMetric
 	}
-	if err := recon.ApplyInto(img, scratch); err != nil {
+	if err := recon.ApplyIntoShards(img, scratch, shards); err != nil {
 		return 0, err
 	}
 	return metric(img, scratch)
@@ -398,14 +431,20 @@ func (e *Engine) rangeReductionDistortion(img *gray.Image, r int, metric chart.M
 // minRangeExact is chart.MinRangeExact plus the follow-up predicted
 // distortion measurement, run on pooled scratch state: the smallest
 // dynamic range in [2, 255] whose measured linear range-reduction
-// distortion on this image does not exceed the budget.
-func (e *Engine) minRangeExact(img *gray.Image, maxDistortion float64, metric chart.Metric) (r int, predicted float64, err error) {
+// distortion on this image does not exceed the budget. With engine
+// workers and a frame large enough to amortize the fan-out it
+// delegates to the speculative parallel search, which probes the
+// identical candidate sequence.
+func (e *Engine) minRangeExact(ctx context.Context, img *gray.Image, maxDistortion float64, metric chart.Metric) (r int, predicted float64, err error) {
+	if e.workers > 1 && len(img.Pix) >= minSearchPixels {
+		return e.minRangeExactSpec(ctx, img, maxDistortion, metric)
+	}
 	scratch := e.getGray(img.W, img.H)
 	defer e.putGray(scratch)
 	lo, hi := 2, transform.Levels-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		d, err := e.rangeReductionDistortion(img, mid, metric, scratch)
+		d, err := e.rangeReductionDistortion(img, mid, metric, scratch, e.workers)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -415,7 +454,7 @@ func (e *Engine) minRangeExact(img *gray.Image, maxDistortion float64, metric ch
 			lo = mid + 1
 		}
 	}
-	predicted, err = e.rangeReductionDistortion(img, lo, metric, scratch)
+	predicted, err = e.rangeReductionDistortion(img, lo, metric, scratch, e.workers)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -426,11 +465,30 @@ func (e *Engine) minRangeExact(img *gray.Image, maxDistortion float64, metric ch
 // decisions to the package-level selectRange, with the ExactSearch
 // path run against pooled scratch buffers and the per-range
 // reconstruction cache.
-func (e *Engine) selectRange(img *gray.Image, opts Options) (r int, predicted float64, err error) {
+func (e *Engine) selectRange(ctx context.Context, img *gray.Image, opts Options) (r int, predicted float64, err error) {
 	if opts.ExactSearch && opts.DynamicRange == 0 && opts.MaxDistortionPercent > 0 {
-		return e.minRangeExact(img, opts.MaxDistortionPercent, opts.Metric)
+		return e.minRangeExact(ctx, img, opts.MaxDistortionPercent, opts.Metric)
 	}
 	return selectRange(img, opts)
+}
+
+// SelectRange runs step 1 alone — the D_max → R admissible-range
+// decision — without extracting a histogram or planning. The pipelined
+// video scheduler uses it to resolve per-frame target ranges in
+// parallel before the serial β governor pass.
+func (e *Engine) SelectRange(ctx context.Context, img *gray.Image, opts Options) (r int, predicted float64, err error) {
+	if img == nil {
+		return 0, 0, errors.New("core: nil image")
+	}
+	if err := validateOptions(opts); err != nil {
+		return 0, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	sp, ctx := obs.StartSpanCtx(ctx, "engine.range_select")
+	defer sp.End()
+	return e.selectRange(ctx, img, opts)
 }
 
 // analyzeStages runs range selection and histogram extraction as
@@ -440,7 +498,7 @@ func (e *Engine) analyzeStages(ctx context.Context, sp *obs.Span, img *gray.Imag
 		return 0, 0, nil, err
 	}
 	_, rsDone := stage(sp, stageRangeSelect)
-	r, predicted, err = e.selectRange(img, opts)
+	r, predicted, err = e.selectRange(ctx, img, opts)
 	rsDone.end(err)
 	if err != nil {
 		return 0, 0, nil, err
@@ -450,7 +508,7 @@ func (e *Engine) analyzeStages(ctx context.Context, sp *obs.Span, img *gray.Imag
 	}
 	_, histDone := stage(sp, stageHistogram)
 	h = e.getHist()
-	histogram.OfInto(img, h)
+	histogram.OfIntoShards(img, h, e.workers)
 	histDone.end(nil)
 	return r, predicted, h, nil
 }
@@ -533,7 +591,7 @@ func (e *Engine) Apply(ctx context.Context, plan *Plan, img *gray.Image) (*gray.
 	sp, _ := obs.StartSpanCtx(ctx, "engine.apply")
 	defer sp.End()
 	out := e.getGray(img.W, img.H)
-	if err := plan.Lambda.ApplyInto(img, out); err != nil {
+	if err := plan.Lambda.ApplyIntoShards(img, out, e.workers); err != nil {
 		e.putGray(out)
 		return nil, err
 	}
@@ -556,7 +614,7 @@ func (e *Engine) ApplyColor(ctx context.Context, plan *Plan, img *rgb.Image) (*r
 	sp, _ := obs.StartSpanCtx(ctx, "engine.apply")
 	defer sp.End()
 	out := e.getRGB(img.W, img.H)
-	if err := img.ApplyLUTInto(plan.Lambda, out); err != nil {
+	if err := img.ApplyLUTIntoShards(plan.Lambda, out, e.workers); err != nil {
 		e.putRGB(out)
 		return nil, err
 	}
@@ -581,7 +639,7 @@ func (e *Engine) transformDistortion(img *gray.Image, plan *Plan, metric chart.M
 	}
 	displayed := e.getGray(img.W, img.H)
 	defer e.putGray(displayed)
-	if err := recon.ApplyInto(img, displayed); err != nil {
+	if err := recon.ApplyIntoShards(img, displayed, e.workers); err != nil {
 		return 0, err
 	}
 	return metric(img, displayed)
@@ -639,7 +697,7 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 	}
 	_, applyDone := stage(sp, stageApply)
 	transformed := e.getGray(img.W, img.H)
-	err = plan.Lambda.ApplyInto(img, transformed)
+	err = plan.Lambda.ApplyIntoShards(img, transformed, e.workers)
 	applyDone.end(err)
 	if err != nil {
 		e.putGray(transformed)
@@ -727,7 +785,7 @@ func (e *Engine) ProcessColor(ctx context.Context, img *rgb.Image, opts Options)
 	}
 	applySpan := sp.Child("stage.apply_color")
 	transformed := e.getRGB(img.W, img.H)
-	err = img.ApplyLUTInto(res.Lambda, transformed)
+	err = img.ApplyLUTIntoShards(res.Lambda, transformed, e.workers)
 	applySpan.End()
 	if err != nil {
 		e.putRGB(transformed)

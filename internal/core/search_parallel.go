@@ -1,0 +1,115 @@
+// Speculative parallel exact range search. The serial search is a
+// bisection over R ∈ [2, 255]: each probe measures the linear
+// range-reduction distortion d(R) and halves the interval. The probes
+// form a chain — probe k depends on the comparison at probe k−1 — so
+// the chain itself cannot fan out. What can fan out is speculation:
+// from the current interval the next `depth` probes can only land on
+// the midpoints of the 2^depth−1 sub-intervals bisection could reach,
+// and d(R) is a pure function of (image, R). Evaluating that whole
+// frontier concurrently and then descending serially through the
+// cached values probes the identical candidate sequence as the serial
+// search — same comparisons, same chosen R, same predicted distortion
+// — without assuming anything about d's shape (in particular not
+// monotonicity, which UQI does not guarantee).
+package core
+
+import (
+	"context"
+
+	"hebs/internal/chart"
+	"hebs/internal/gray"
+	"hebs/internal/parallel"
+	"hebs/internal/transform"
+)
+
+// minSearchPixels gates the speculative search: below it a frame's
+// per-candidate work (remap + metric) is too small to amortize the
+// fan-out, and video frames that size are already parallelized across
+// frames by the scheduler.
+const minSearchPixels = 1 << 15
+
+// specDepth returns how many bisection levels to speculate: the
+// largest d with 2^d − 1 <= workers, capped at 8 (the search space is
+// 254 candidates, so bisection never exceeds 8 levels).
+func specDepth(workers int) int {
+	d := 0
+	for d < 8 && (1<<(d+1))-1 <= workers {
+		d++
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// minRangeExactSpec is minRangeExact with the candidate evaluations
+// speculated `depth` bisection levels ahead and run on the worker
+// pool. Exact-equal to the serial search by construction: the descent
+// consumes cached d(R) values at exactly the serial probe points.
+func (e *Engine) minRangeExactSpec(ctx context.Context, img *gray.Image, maxDistortion float64, metric chart.Metric) (r int, predicted float64, err error) {
+	depth := specDepth(e.workers)
+	var (
+		dist [transform.Levels]float64
+		have [transform.Levels]bool
+	)
+	// evaluate runs d(R) for every requested candidate concurrently,
+	// each on its own pooled scratch buffer (the remap inside stays
+	// serial — the fan-out is across candidates).
+	evaluate := func(need []int) error {
+		return parallel.ForEach(ctx, len(need), e.workers, func(i int) error {
+			scratch := e.getGray(img.W, img.H)
+			defer e.putGray(scratch)
+			d, err := e.rangeReductionDistortion(img, need[i], metric, scratch, 1)
+			if err != nil {
+				return err
+			}
+			dist[need[i]] = d
+			have[need[i]] = true
+			return nil
+		})
+	}
+	type interval struct{ lo, hi int }
+	lo, hi := 2, transform.Levels-1
+	for lo < hi {
+		// Frontier: the midpoints bisection can reach within `depth`
+		// levels of the current interval. Sub-intervals at one level are
+		// disjoint, so the midpoints are distinct.
+		level := []interval{{lo, hi}}
+		var need []int
+		for d := 0; d < depth && len(level) > 0; d++ {
+			next := level[:0:0]
+			for _, iv := range level {
+				if iv.lo >= iv.hi {
+					continue
+				}
+				mid := (iv.lo + iv.hi) / 2
+				if !have[mid] {
+					need = append(need, mid)
+				}
+				next = append(next, interval{iv.lo, mid}, interval{mid + 1, iv.hi})
+			}
+			level = next
+		}
+		if err := evaluate(need); err != nil {
+			return 0, 0, err
+		}
+		// Descend through the cache along the serial probe sequence.
+		for d := 0; d < depth && lo < hi; d++ {
+			mid := (lo + hi) / 2
+			if dist[mid] <= maxDistortion {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+	}
+	// The serial search re-measures d at the chosen range for the
+	// predicted-distortion report; d is deterministic, so the cached
+	// value is that measurement.
+	if !have[lo] {
+		if err := evaluate([]int{lo}); err != nil {
+			return 0, 0, err
+		}
+	}
+	return lo, dist[lo], nil
+}

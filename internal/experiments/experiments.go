@@ -33,6 +33,13 @@ type Config struct {
 	// Metric is the distortion measure (default UQI).
 	Metric chart.Metric
 
+	// Workers bounds the suite-wide fan-out (Table1, Comparison): 0 —
+	// the default and the historical behavior — selects all CPUs, 1
+	// runs serially, n > 1 bounds the pool at n. Results are
+	// bit-identical at every setting (per-image slots, serial
+	// reduction).
+	Workers int
+
 	// ctx carries cancellation into the suite fan-outs; nil means
 	// context.Background(). Set via WithContext so Config literals in
 	// existing callers keep working unchanged.
@@ -208,7 +215,7 @@ func Table1(cfg Config) (*Table1Result, error) {
 	}
 	// Images are independent: fan out, then reduce sequentially so the
 	// averages are bit-identical to a serial run.
-	err = forEachImageCtx(cfg.context(), suite, func(i int, ni sipi.NamedImage) error {
+	err = forEachImageCtx(cfg.context(), suite, cfg.Workers, func(i int, ni sipi.NamedImage) error {
 		row := Table1Row{Name: ni.Name}
 		for _, budget := range Table1Budgets {
 			out, err := core.ProcessContext(cfg.context(), ni.Image, core.Options{
@@ -264,7 +271,7 @@ func Comparison(cfg Config, budget float64) ([]ComparisonRow, error) {
 	const nMethods = 4
 	type cell struct{ saving, beta float64 }
 	cells := make([][nMethods]cell, len(suite))
-	err = forEachImageCtx(cfg.context(), suite, func(i int, ni sipi.NamedImage) error {
+	err = forEachImageCtx(cfg.context(), suite, cfg.Workers, func(i int, ni sipi.NamedImage) error {
 		h, err := core.ProcessContext(cfg.context(), ni.Image, core.Options{
 			MaxDistortionPercent: budget,
 			ExactSearch:          true,

@@ -2,65 +2,31 @@
 // embarrassingly parallel across images; results are written into
 // per-image slots and reduced sequentially afterwards, so parallel
 // runs produce bit-identical numbers to serial ones (floating-point
-// accumulation order never changes).
+// accumulation order never changes). The goroutine pool itself lives
+// in internal/parallel — this file only binds it to the suite shape.
 package experiments
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
+	"hebs/internal/parallel"
 	"hebs/internal/sipi"
 )
 
 // forEachImage runs fn for every suite image concurrently, bounded by
 // the CPU count. fn receives the image index so callers can write into
 // pre-allocated result slots without synchronization. The first error
-// wins; remaining work still drains before returning.
+// stops the fan-out (in-flight images finish) and is returned.
 func forEachImage(suite []sipi.NamedImage, fn func(i int, ni sipi.NamedImage) error) error {
-	return forEachImageCtx(context.Background(), suite, fn)
+	return forEachImageCtx(context.Background(), suite, 0, fn)
 }
 
-// forEachImageCtx is forEachImage honoring cancellation: once ctx is
-// done no new images start (in-flight ones finish) and ctx's error is
-// reported if nothing failed first.
-func forEachImageCtx(ctx context.Context, suite []sipi.NamedImage, fn func(i int, ni sipi.NamedImage) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(suite) {
-		workers = len(suite)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				// Drain without starting new work after cancellation so
-				// the feeder never blocks.
-				err := ctx.Err()
-				if err == nil {
-					err = fn(i, suite[i])
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range suite {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return firstErr
+// forEachImageCtx is forEachImage honoring cancellation (once ctx is
+// done no new images start, in-flight ones finish, and ctx's error is
+// reported if nothing failed first) with an explicit worker bound
+// (<= 0 selects all CPUs).
+func forEachImageCtx(ctx context.Context, suite []sipi.NamedImage, workers int, fn func(i int, ni sipi.NamedImage) error) error {
+	return parallel.ForEach(ctx, len(suite), workers, func(i int) error {
+		return fn(i, suite[i])
+	})
 }

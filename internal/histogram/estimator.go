@@ -54,6 +54,16 @@ func (e *Estimator) Observe(h *Histogram) error {
 // Ready reports whether at least one frame has been observed.
 func (e *Estimator) Ready() bool { return e.seen }
 
+// Clone returns an independent snapshot of the estimator's state.
+// Concurrent schedulers use snapshots to evaluate Distance against a
+// fixed reference from several workers while the original keeps
+// folding new frames — an Estimator itself is not safe for concurrent
+// mutation.
+func (e *Estimator) Clone() *Estimator {
+	c := *e
+	return &c
+}
+
 // Histogram renders the current estimate as an integer histogram with
 // total mass (approximately) n, suitable for the GHE solver.
 func (e *Estimator) Histogram(n int) (*Histogram, error) {

@@ -1,0 +1,60 @@
+// Row-sharded histogram accumulation. The histogram is a pure integer
+// reduction — per-row bin counts added in any order give the same
+// result — so it parallelizes with an exactness guarantee: OfIntoShards
+// is defined to be bin-for-bin equal to OfInto on every input. Each
+// shard accumulates into its own pooled [Levels]int (no cache-line
+// sharing between workers) and the partials are merged serially in
+// shard order.
+package histogram
+
+import (
+	"sync"
+
+	"hebs/internal/gray"
+	"hebs/internal/parallel"
+)
+
+// minShardPixels is the per-shard work floor: below ~32K pixels the
+// goroutine spawn plus the 256-bin merge costs more than the scan it
+// saves, so small frames stay on the serial path (callers like the
+// video scheduler parallelize across frames instead).
+const minShardPixels = 1 << 15
+
+// shardBins pools the per-shard accumulation arrays so steady-state
+// sharded extraction allocates nothing.
+var shardBins = sync.Pool{New: func() any { return new([Levels]int) }}
+
+// OfIntoShards is OfInto with the pixel scan sharded over row bands
+// across up to `shards` goroutines. Results are exactly equal to
+// OfInto for every input (integer bin addition is order-free); shards
+// <= 1, a single-row image, or a frame too small to amortize the spawn
+// cost all fall back to the serial scan.
+func OfIntoShards(img *gray.Image, h *Histogram, shards int) {
+	if limit := len(img.Pix) / minShardPixels; shards > limit {
+		shards = limit
+	}
+	if shards <= 1 || img.H < 2 {
+		OfInto(img, h)
+		return
+	}
+	if shards > img.H {
+		shards = img.H
+	}
+	partials := make([]*[Levels]int, shards)
+	parallel.Shard(img.H, shards, func(s, row0, row1 int) {
+		bins := shardBins.Get().(*[Levels]int)
+		*bins = [Levels]int{}
+		for _, p := range img.Pix[row0*img.W : row1*img.W] {
+			bins[p]++
+		}
+		partials[s] = bins
+	})
+	h.Reset()
+	for _, bins := range partials {
+		for v, c := range bins {
+			h.Bins[v] += c
+		}
+		shardBins.Put(bins)
+	}
+	h.N = len(img.Pix)
+}

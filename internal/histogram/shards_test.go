@@ -1,0 +1,125 @@
+package histogram
+
+import (
+	"math/rand"
+	"testing"
+
+	"hebs/internal/gray"
+)
+
+// fillImage writes a deterministic pseudo-random pixel pattern.
+func fillImage(img *gray.Image, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range img.Pix {
+		img.Pix[i] = uint8(rng.Intn(256))
+	}
+}
+
+// TestOfIntoShardsEqualsSerial: the sharded accumulator is bin-for-bin
+// equal to OfInto on every input — small frames (gated to the serial
+// path), frames just over the gate, odd shapes, and shard counts beyond
+// the row count.
+func TestOfIntoShardsEqualsSerial(t *testing.T) {
+	shapes := []struct{ w, h int }{
+		{1, 1},     // degenerate
+		{64, 64},   // below the minShardPixels gate
+		{256, 256}, // 2× the gate: first truly sharded size
+		{512, 384}, // rectangular, several shards
+		{333, 257}, // odd dimensions, uneven row bands
+		{1024, 1},  // single row: serial fallback
+		{3, 20000}, // tall and skinny
+	}
+	for _, sh := range shapes {
+		img := gray.New(sh.w, sh.h)
+		fillImage(img, int64(sh.w*100003+sh.h))
+		var want Histogram
+		OfInto(img, &want)
+		for _, shards := range []int{0, 1, 2, 3, 4, 16, 1 << 20} {
+			var got Histogram
+			got.Bins[7] = 42 // stale state must be overwritten
+			got.N = 9
+			OfIntoShards(img, &got, shards)
+			if got != want {
+				t.Fatalf("%dx%d shards=%d: sharded histogram differs from serial", sh.w, sh.h, shards)
+			}
+		}
+	}
+}
+
+// TestOfIntoShardsUniformImage: a constant image concentrates all mass
+// in one bin regardless of sharding.
+func TestOfIntoShardsUniformImage(t *testing.T) {
+	img := gray.New(300, 300)
+	for i := range img.Pix {
+		img.Pix[i] = 200
+	}
+	var h Histogram
+	OfIntoShards(img, &h, 8)
+	if h.N != 300*300 || h.Bins[200] != 300*300 {
+		t.Fatalf("uniform image: N=%d Bins[200]=%d", h.N, h.Bins[200])
+	}
+}
+
+// FuzzOfIntoShards drives arbitrary pixel content, shapes, and shard
+// counts through both accumulators and requires exact equality — the
+// invariant the parallel Analyze path depends on.
+func FuzzOfIntoShards(f *testing.F) {
+	f.Add([]byte{0, 128, 255}, uint16(256), uint16(256), uint8(4))
+	f.Add([]byte{}, uint16(64), uint16(64), uint8(1))
+	f.Add([]byte{7}, uint16(333), uint16(257), uint8(16))
+	f.Add([]byte{1, 2, 3, 4, 5}, uint16(512), uint16(2), uint8(255))
+	f.Fuzz(func(t *testing.T, pix []byte, w16, h16 uint16, shards8 uint8) {
+		w := 1 + int(w16)%512
+		h := 1 + int(h16)%512
+		img := gray.New(w, h)
+		for i := range img.Pix {
+			if len(pix) > 0 {
+				img.Pix[i] = pix[i%len(pix)]
+			} else {
+				img.Pix[i] = uint8(i * 31)
+			}
+		}
+		var want, got Histogram
+		OfInto(img, &want)
+		OfIntoShards(img, &got, int(shards8))
+		if got != want {
+			t.Fatalf("%dx%d shards=%d: sharded histogram differs from serial", w, h, shards8)
+		}
+	})
+}
+
+func TestEstimatorClone(t *testing.T) {
+	est, err := NewEstimator(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := gray.New(64, 64)
+	fillImage(img, 1)
+	h := Of(img)
+	if err := est.Observe(h); err != nil {
+		t.Fatal(err)
+	}
+	snap := est.Clone()
+	if !snap.Ready() {
+		t.Fatal("clone lost readiness")
+	}
+	d0, err := snap.Distance(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the original must not move the snapshot.
+	img2 := gray.New(64, 64)
+	for i := range img2.Pix {
+		img2.Pix[i] = 255
+	}
+	if err := est.Observe(Of(img2)); err != nil {
+		t.Fatal(err)
+	}
+	d1, err := snap.Distance(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0 != d1 { //hebslint:allow floateq
+		t.Fatalf("snapshot drifted after original mutated: %v -> %v", d0, d1)
+	}
+}

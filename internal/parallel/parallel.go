@@ -1,0 +1,154 @@
+// Package parallel is the engine's shared concurrency substrate: a
+// bounded, context-aware worker pool with ordered result slots. Every
+// fan-out in the system — batch processing, the experiment suite, the
+// pipelined video scheduler, sharded pixel kernels and the speculative
+// range search — runs through the two primitives here instead of
+// re-growing its own goroutine pool.
+//
+// The determinism contract all callers rely on: work is identified by
+// index, results are written into caller-owned per-index slots, and any
+// reduction over those slots happens serially after the pool drains.
+// Scheduling order is therefore free to vary between runs while outputs
+// stay bit-identical to a serial execution.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count against a job count:
+// n <= 0 selects GOMAXPROCS (the historical default of the batch and
+// experiment fan-outs), and the result is clamped to [1, jobs] so a
+// small fan-out never spawns idle goroutines.
+func Workers(n, jobs int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if jobs >= 1 && n > jobs {
+		n = jobs
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, jobs) on a pool of at most
+// `workers` goroutines (workers <= 0 selects GOMAXPROCS). Indices are
+// claimed from a shared counter, so callers may write into
+// pre-allocated result slots without synchronization; wait-group
+// completion orders every slot write before ForEach returns.
+//
+// The first error (in time) stops the pool: no new indices start,
+// in-flight calls finish, and that error is returned. Cancelling ctx
+// stops the pool the same way and returns ctx's error if no job failed
+// first. With one worker the jobs run inline on the calling goroutine
+// in index order, with the same ctx check before each job.
+func ForEach(ctx context.Context, jobs, workers int, fn func(i int) error) error {
+	if jobs <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, jobs)
+	if workers == 1 {
+		for i := 0; i < jobs; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return ctx.Err()
+	}
+	var (
+		next     atomic.Int64
+		stopped  atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped.Load() {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map is ForEach with the result slots owned by the pool: fn(i)'s
+// values are collected in input order. On error or cancellation the
+// partial slice is returned alongside the error so callers can release
+// any resources already produced (unfilled slots hold the zero value).
+func Map[T any](ctx context.Context, jobs, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, jobs)
+	err := ForEach(ctx, jobs, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}
+
+// Shard splits n units of work into at most `shards` contiguous,
+// near-equal chunks and runs fn(shard, lo, hi) for each concurrently,
+// where [lo, hi) is the shard's half-open unit range. The last shard
+// runs on the calling goroutine. Chunk boundaries are a pure function
+// of (n, shards) — lo = s·n/shards — so a sharded integer reduction
+// merged in shard order is reproducible run to run. fn must not fail;
+// kernels with error paths belong on ForEach. Returns the shard count
+// actually used (1 when n or shards is small, with fn run inline).
+func Shard(n, shards int, fn func(shard, lo, hi int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if shards > n {
+		shards = n
+	}
+	if shards <= 1 {
+		fn(0, 0, n)
+		return 1
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards-1; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			fn(s, s*n/shards, (s+1)*n/shards)
+		}(s)
+	}
+	fn(shards-1, (shards-1)*n/shards, n)
+	wg.Wait()
+	return shards
+}

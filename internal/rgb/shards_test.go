@@ -1,0 +1,49 @@
+package rgb
+
+import (
+	"math/rand"
+	"testing"
+
+	"hebs/internal/transform"
+)
+
+// TestApplyLUTIntoShardsEqualsSerial: the sharded color remap is
+// byte-equal to ApplyLUTInto across frame sizes on both sides of the
+// work-floor gate and across shard counts.
+func TestApplyLUTIntoShardsEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var lut transform.LUT
+	for i := range lut {
+		lut[i] = uint8(rng.Intn(256))
+	}
+	for _, sh := range []struct{ w, h int }{{1, 1}, {64, 64}, {200, 200}, {257, 129}} {
+		src := New(sh.w, sh.h)
+		for i := range src.Pix {
+			src.Pix[i] = uint8(rng.Intn(256))
+		}
+		want := New(sh.w, sh.h)
+		if err := src.ApplyLUTInto(&lut, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{0, 1, 2, 5, 64} {
+			got := New(sh.w, sh.h)
+			if err := src.ApplyLUTIntoShards(&lut, got, shards); err != nil {
+				t.Fatalf("%dx%d shards=%d: %v", sh.w, sh.h, shards, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%dx%d shards=%d: sharded remap differs from serial", sh.w, sh.h, shards)
+			}
+		}
+	}
+}
+
+func TestApplyLUTIntoShardsErrors(t *testing.T) {
+	lut := transform.Identity()
+	src := New(256, 256)
+	if err := src.ApplyLUTIntoShards(lut, nil, 4); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	if err := src.ApplyLUTIntoShards(lut, New(256, 255), 4); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

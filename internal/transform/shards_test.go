@@ -1,0 +1,49 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"hebs/internal/gray"
+)
+
+// TestApplyIntoShardsEqualsSerial: the sharded remap is byte-equal to
+// ApplyInto across frame sizes on both sides of the work-floor gate
+// and across shard counts.
+func TestApplyIntoShardsEqualsSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var lut LUT
+	for i := range lut {
+		lut[i] = uint8(rng.Intn(256))
+	}
+	for _, sh := range []struct{ w, h int }{{1, 1}, {64, 64}, {256, 256}, {333, 257}} {
+		src := gray.New(sh.w, sh.h)
+		for i := range src.Pix {
+			src.Pix[i] = uint8(rng.Intn(256))
+		}
+		want := gray.New(sh.w, sh.h)
+		if err := lut.ApplyInto(src, want); err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{0, 1, 2, 5, 64} {
+			got := gray.New(sh.w, sh.h)
+			if err := lut.ApplyIntoShards(src, got, shards); err != nil {
+				t.Fatalf("%dx%d shards=%d: %v", sh.w, sh.h, shards, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("%dx%d shards=%d: sharded remap differs from serial", sh.w, sh.h, shards)
+			}
+		}
+	}
+}
+
+func TestApplyIntoShardsErrors(t *testing.T) {
+	lut := Identity()
+	src := gray.New(512, 512)
+	if err := lut.ApplyIntoShards(src, nil, 4); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+	if err := lut.ApplyIntoShards(src, gray.New(512, 511), 4); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}

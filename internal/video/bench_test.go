@@ -61,6 +61,30 @@ func BenchmarkEngineVideoSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineVideoSteadyStateParallel is the pipelined-scheduler
+// counterpart of BenchmarkEngineVideoSteadyState: identical clip,
+// policy and warm shared engine, frames fanned out over GOMAXPROCS
+// workers. The ns/op ratio between the two is the scheduler's
+// wall-clock speedup (≈1 on a single-CPU host, where the pool
+// degenerates to one worker plus scheduling overhead).
+func BenchmarkEngineVideoSteadyStateParallel(b *testing.B) {
+	seq := steadyClip(b)
+	pol := steadyPolicy()
+	pol.Workers = -1 // all CPUs
+	pol.Engine = core.NewEngine(core.EngineOptions{})
+	ctx := context.Background()
+	if _, err := ProcessContext(ctx, seq, pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProcessContext(ctx, seq, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLegacyVideoSteadyState is the same workload through the
 // compat wrapper (fresh engine per clip, no cross-clip pooling) — the
 // pre-refactor comparison point.

@@ -1,0 +1,315 @@
+// The pipelined video scheduler. The serial frame walk interleaves
+// three kinds of work with very different dependency structure:
+//
+//   - Per-frame statistics (histogram) and the admissible-range search
+//     — pure functions of the frame, embarrassingly parallel.
+//   - The reuse decision and the β-slew/cut governor — an inherently
+//     serial chain: Eq. 10 reprograms the driver frame to frame, so
+//     each frame's applied β depends on the previous frame's, and the
+//     estimator folds histograms in stream order.
+//   - Apply + the distortion/power measurements at the resolved range
+//     — again pure per-frame functions once the range is fixed.
+//
+// processPipelined decomposes the walk along exactly those lines: fan
+// out the statistics, run the governor serially over the collected
+// numbers (O(256) folds and a handful of float ops per frame — microseconds
+// for any clip), then fan the Apply/measure stage back out. Every
+// number the governor consumes is computed by the same code path the
+// serial walk uses (the range search probes the same candidates, β is
+// power.BetaForRange of the same range), so the outputs — frames, β
+// sequences, driver programs, aggregates — are byte-identical to
+// serial mode. That equality is asserted by TestPipelinedMatchesSerial
+// across pan/fade/cut fixtures.
+package video
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hebs/internal/core"
+	"hebs/internal/histogram"
+	"hebs/internal/invariant"
+	"hebs/internal/parallel"
+	"hebs/internal/power"
+	"hebs/internal/transform"
+)
+
+// policyWorkers resolves Policy.Workers (0/1 serial, n > 1 bounded,
+// negative GOMAXPROCS) against the clip length.
+func policyWorkers(n, frames int) int {
+	if n == 0 {
+		return 1
+	}
+	return parallel.Workers(n, frames)
+}
+
+// frameState carries one frame through the phases: its histogram
+// (phase A), the reuse flag (B), the selected range (C), the
+// governor's decision record (D) — what the frame's own HEBS optimum
+// was, which range Apply must run at after slew limiting, which policy
+// events fired — and the frame result (E). One pooled slice holds the
+// whole clip so a steady-state pipelined run allocates a handful of
+// objects per clip, not per frame.
+type frameState struct {
+	hist       histogram.Histogram
+	reuse      bool
+	rng        int     // selected admissible range (non-reuse frames)
+	target     float64 // per-frame optimum β = BetaForRange(target range)
+	applyRange int     // range the frame is actually transformed at
+	slew       bool
+	cut        bool
+	fr         FrameResult
+	done       bool
+}
+
+// minHistFanoutPixels is the per-frame work floor for fanning out the
+// statistics phase (matches the sharded kernels' 32K-pixel gate).
+const minHistFanoutPixels = 1 << 15
+
+// statePool recycles clip state slices across pipelined runs.
+var statePool = sync.Pool{New: func() any { return new([]frameState) }}
+
+func getClipState(n int) *[]frameState {
+	p := statePool.Get().(*[]frameState)
+	if cap(*p) < n {
+		*p = make([]frameState, n)
+	}
+	*p = (*p)[:n]
+	for i := range *p {
+		(*p)[i] = frameState{}
+	}
+	return p
+}
+
+// processPipelined is ProcessContext's parallel scheduler; workers is
+// the resolved pool bound (> 1). Cancellation semantics mirror the
+// serial walk: a cancellation mid-clip returns the aggregated
+// contiguous prefix of completed frames together with ctx's error.
+func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers int) (*Result, error) {
+	eng := pol.Engine
+	if eng == nil {
+		eng = core.NewEngine(core.EngineOptions{Workers: pol.Workers})
+	}
+	sub := power.DefaultSubsystem
+	if pol.Options.Subsystem != nil {
+		sub = *pol.Options.Subsystem
+	}
+	sp := pol.Options.Trace.Child("video.Process")
+	defer sp.End()
+	n := len(seq.Frames)
+	sp.SetInt("frames", n)
+	sp.SetInt("workers", workers)
+	mSequences.Inc()
+	res := &Result{}
+	// finish aggregates whatever prefix completed and reports clipErr
+	// (nil for a full run) — the serial walk's epilogue.
+	finish := func(clipErr error) (*Result, error) {
+		res.aggregate()
+		if clipErr != nil {
+			return res, clipErr
+		}
+		return res, nil
+	}
+
+	stp := getClipState(n)
+	defer statePool.Put(stp)
+	st := *stp
+
+	// Phase A+B — reuse decisions. Frame histograms are independent
+	// (fan out); the estimator fold is stream-ordered (serial). The
+	// serial walk's reuse condition `est.Ready() && prevRange > 0`
+	// holds exactly for i >= 1 on any clip that completes, which is
+	// the only case output equality applies to.
+	if pol.ReuseThreshold > 0 {
+		est, err := histogram.NewEstimator(0.5)
+		if err != nil {
+			return nil, err
+		}
+		// Small frames scan in microseconds; below the work floor the
+		// fan-out costs more than it saves, and ForEach with one worker
+		// runs inline (no goroutines, no allocations).
+		hw := workers
+		if len(seq.Frames[0].Pix) < minHistFanoutPixels {
+			hw = 1
+		}
+		if err := parallel.ForEach(ctx, n, hw, func(i int) error {
+			histogram.OfInto(seq.Frames[i], &st[i].hist)
+			return nil
+		}); err != nil {
+			return finish(err) // only ctx errors escape this phase
+		}
+		for i := range st {
+			if est.Ready() {
+				d, err := est.Distance(&st[i].hist)
+				if err != nil {
+					return nil, err
+				}
+				st[i].reuse = d < pol.ReuseThreshold
+			}
+			if err := est.Observe(&st[i].hist); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Phase C — admissible-range search for every frame that will not
+	// inherit its range, fanned out with per-worker pooled scratch
+	// (the engine's buffer pool plus its shared reconstruction-LUT
+	// cache back the exact search). The job list is compacted to the
+	// searching frames so a steady-state clip (one search, the rest
+	// reused) runs inline with no pool spawn at all.
+	search := make([]int, 0, n)
+	for i := range st {
+		if !st[i].reuse {
+			search = append(search, i)
+		}
+	}
+	if err := parallel.ForEach(ctx, len(search), workers, func(k int) error {
+		i := search[k]
+		r, _, err := eng.SelectRange(ctx, seq.Frames[i], pol.Options)
+		if err != nil {
+			return fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		st[i].rng = r
+		return nil
+	}); err != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
+			return finish(cerr)
+		}
+		return nil, err
+	}
+
+	// Phase D — the serial governor: resolve inherited ranges, then
+	// run the fast-attack/slow-decay β track with cut snapping. The
+	// float operations replicate the serial walk's exactly, including
+	// the re-quantization of a slew-limited β through RangeForBeta —
+	// the applied β must sit on the driver's range grid.
+	prevBeta := math.NaN()
+	tr := 0
+	for i := 0; i < n; i++ {
+		if !st[i].reuse {
+			tr = st[i].rng
+		}
+		target, err := power.BetaForRange(tr, transform.Levels)
+		if err != nil {
+			return nil, fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		applied := target
+		cutSnap := false
+		if !math.IsNaN(prevBeta) && pol.MaxStep > 0 {
+			delta := target - prevBeta
+			isCut := pol.CutThreshold > 0 && math.Abs(delta) > pol.CutThreshold
+			cutSnap = isCut
+			if delta < -pol.MaxStep && !isCut {
+				applied = prevBeta - pol.MaxStep
+			}
+		}
+		st[i].target = target
+		st[i].applyRange = tr
+		st[i].cut = cutSnap
+		finalBeta := target
+		//hebslint:allow floateq applied is assigned from target unless slew-limited
+		if applied != target {
+			st[i].slew = true
+			rng, err := power.RangeForBeta(applied, transform.Levels)
+			if err != nil {
+				return nil, fmt.Errorf("video: frame %d: %w", i, err)
+			}
+			st[i].applyRange = rng
+			finalBeta, err = power.BetaForRange(rng, transform.Levels)
+			if err != nil {
+				return nil, fmt.Errorf("video: frame %d: %w", i, err)
+			}
+		}
+		// Metric parity with the serial walk's per-frame counters.
+		if st[i].reuse {
+			mRangeReuse.Inc()
+		}
+		if st[i].cut {
+			mCutSnaps.Inc()
+		}
+		if st[i].slew {
+			mSlewLimited.Inc()
+		}
+		if invariant.Enabled {
+			invariant.AssertBeta("video: target β", st[i].target)
+			invariant.AssertBeta("video: applied β", finalBeta)
+			if pol.MaxStep > 0 && !math.IsNaN(prevBeta) && !cutSnap {
+				invariant.Assert(prevBeta-finalBeta <= pol.MaxStep+1.0/float64(transform.Levels-1)+1e-9,
+					"video: dimming slew %v exceeds MaxStep %v", prevBeta-finalBeta, pol.MaxStep)
+			}
+		}
+		prevBeta = finalBeta
+	}
+
+	// Phase E — Apply and measure at the resolved ranges, fanned out.
+	// Results land in per-frame slots; a cancellation keeps the
+	// contiguous completed prefix, matching the serial walk's partial
+	// timeline.
+	applyErr := parallel.ForEach(ctx, n, workers, func(i int) error {
+		start := time.Now()
+		fsp := sp.Child("video.frame")
+		defer fsp.End()
+		fsp.SetInt("frame", pol.frameOffset+i)
+		defer func() { mFrameLatency.ObserveDuration(time.Since(start)) }()
+		mFrames.Inc()
+		if st[i].reuse {
+			fsp.SetBool("range_reused", true)
+		}
+		if st[i].cut {
+			fsp.SetBool("cut_snap", true)
+		}
+		if st[i].slew {
+			fsp.SetBool("slew_limited", true)
+		}
+		opts := pol.Options
+		opts.Trace = fsp
+		opts.DynamicRange = st[i].applyRange
+		opts.MaxDistortionPercent = 0
+		opts.ExactSearch = false
+		r, err := eng.Process(ctx, seq.Frames[i], opts)
+		if err != nil {
+			if st[i].slew {
+				return fmt.Errorf("video: frame %d (smoothed): %w", i, err)
+			}
+			return fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		fr := FrameResult{
+			TargetBeta: st[i].target,
+			Beta:       r.Beta,
+			Range:      r.Range,
+			Distortion: r.AchievedDistortion,
+		}
+		saving, err := sub.SavingPercent(seq.Frames[i], r.Transformed, r.Beta)
+		r.Release()
+		if err != nil {
+			return err
+		}
+		fr.SavingPercent = saving
+		fsp.SetFloat("target_beta", fr.TargetBeta)
+		fsp.SetFloat("applied_beta", fr.Beta)
+		fsp.SetInt("range", fr.Range)
+		fsp.SetFloat("saving_pct", fr.SavingPercent)
+		st[i].fr = fr
+		st[i].done = true
+		return nil
+	})
+	if applyErr != nil {
+		if cerr := ctx.Err(); cerr != nil && errors.Is(applyErr, cerr) {
+			for i := 0; i < n && st[i].done; i++ {
+				res.Frames = append(res.Frames, st[i].fr)
+			}
+			return finish(cerr)
+		}
+		return nil, applyErr
+	}
+	res.Frames = make([]FrameResult, n)
+	for i := range st {
+		res.Frames[i] = st[i].fr
+	}
+	return finish(nil)
+}

@@ -133,6 +133,14 @@ type Policy struct {
 	// a private engine per Process call (pooling still amortizes
 	// across the clip's frames).
 	Engine *core.Engine
+	// Workers selects the pipelined parallel scheduler: 0 or 1 (the
+	// default) walks frames serially, n > 1 runs the per-frame
+	// Analyze/Plan/Apply work on up to n goroutines with the
+	// order-dependent β-slew/cut governor kept as a cheap serial pass,
+	// and a negative value selects GOMAXPROCS. Outputs — frames, β
+	// sequences, driver programs — are byte-identical at every
+	// setting; see DESIGN.md "Parallel execution".
+	Workers int
 	// frameOffset shifts the frame indices reported on observability
 	// spans; ProcessWithCutDetection sets it so scene-local runs still
 	// report clip-global frame numbers.
@@ -188,6 +196,11 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 	}
 	if pol.MaxStep < 0 || pol.CutThreshold < 0 || pol.ReuseThreshold < 0 {
 		return nil, fmt.Errorf("video: negative policy parameters %+v", pol)
+	}
+	if len(seq.Frames) > 1 {
+		if w := policyWorkers(pol.Workers, len(seq.Frames)); w > 1 {
+			return processPipelined(ctx, seq, pol, w)
+		}
 	}
 	eng := pol.Engine
 	if eng == nil {
@@ -337,29 +350,38 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 		prevBeta = fr.Beta
 	}
 	// Aggregate (over the completed prefix when cancelled).
+	res.aggregate()
+	if clipErr != nil {
+		return res, clipErr
+	}
+	return res, nil
+}
+
+// aggregate computes the clip-level summary — mean saving and the
+// flicker statistics of the applied β track — over the completed
+// frames and publishes the clip gauges. Both the serial walk and the
+// pipelined scheduler reduce through this one helper, over frames in
+// index order, so their summaries are bit-identical.
+func (r *Result) aggregate() {
 	var sumSave, sumDelta, maxDelta float64
-	for i, f := range res.Frames {
+	for i, f := range r.Frames {
 		sumSave += f.SavingPercent
 		if i > 0 {
-			d := math.Abs(f.Beta - res.Frames[i-1].Beta)
+			d := math.Abs(f.Beta - r.Frames[i-1].Beta)
 			sumDelta += d
 			if d > maxDelta {
 				maxDelta = d
 			}
 		}
 	}
-	if len(res.Frames) > 0 {
-		res.MeanSaving = sumSave / float64(len(res.Frames))
+	if len(r.Frames) > 0 {
+		r.MeanSaving = sumSave / float64(len(r.Frames))
 	}
-	if len(res.Frames) > 1 {
-		res.MeanAbsDeltaBeta = sumDelta / float64(len(res.Frames)-1)
+	if len(r.Frames) > 1 {
+		r.MeanAbsDeltaBeta = sumDelta / float64(len(r.Frames)-1)
 	}
-	res.MaxAbsDeltaBeta = maxDelta
-	gMeanSaving.Set(res.MeanSaving)
-	gMeanAbsDelta.Set(res.MeanAbsDeltaBeta)
-	gMaxAbsDelta.Set(res.MaxAbsDeltaBeta)
-	if clipErr != nil {
-		return res, clipErr
-	}
-	return res, nil
+	r.MaxAbsDeltaBeta = maxDelta
+	gMeanSaving.Set(r.MeanSaving)
+	gMeanAbsDelta.Set(r.MeanAbsDeltaBeta)
+	gMaxAbsDelta.Set(r.MaxAbsDeltaBeta)
 }
