@@ -4,7 +4,7 @@ GO ?= go
 FUZZTIME ?= 5s
 
 .PHONY: all build verify check lint fuzz-smoke bench bench-guard \
-	bench-baseline bench-compare bench-smoke clean
+	bench-baseline bench-compare bench-smoke telemetry-smoke clean
 
 all: build
 
@@ -26,7 +26,7 @@ check:
 	$(MAKE) lint
 
 # hebslint: the project's own static analyzers (spanend, floateq,
-# errdrop) over the whole module.
+# errdrop, metricname) over the whole module.
 lint:
 	$(GO) run ./cmd/hebslint -C .
 
@@ -75,11 +75,40 @@ bench-compare:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-# Asserts disabled tracing stays within noise: the nil-sink guard in
-# internal/obs plus the traced-vs-direct pipeline benchmark pair.
+# Asserts disabled telemetry stays within noise: the nil-sink span
+# guard and the flight/SLO-window guard in internal/obs, plus the
+# traced-vs-direct pipeline benchmark pair.
 bench-guard:
-	$(GO) test -run TestNilSinkOverheadGuard -v ./internal/obs
+	$(GO) test -run 'TestNilSinkOverheadGuard|TestDisabledTelemetryOverheadGuard' -v ./internal/obs
 	$(GO) test -run='^$$' -bench='KernelFullPipeline(DirectRange|Traced)$$' -benchmem .
+
+# End-to-end telemetry smoke: run a clip with -telemetry held open,
+# then scrape every endpoint the way CI (and a human with curl) would.
+# Fails on a non-200 or on missing exposition structure.
+TELEMETRY_ADDR ?= 127.0.0.1:9190
+
+telemetry-smoke:
+	@set -e; \
+	out=$$(mktemp -d); trap 'kill $$pid 2>/dev/null || true; rm -rf $$out' EXIT; \
+	$(GO) build -o $$out/hebsvideo ./cmd/hebsvideo; \
+	$$out/hebsvideo -clip pan -frames 8 -size 64 -workers 2 \
+		-telemetry $(TELEMETRY_ADDR) -telemetry-hold 30s \
+		-flight-out $$out/flight.json >$$out/run.log 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		if curl -fsS http://$(TELEMETRY_ADDR)/healthz >/dev/null 2>&1; then break; fi; \
+		if ! kill -0 $$pid 2>/dev/null; then \
+			echo "hebsvideo exited before serving:"; cat $$out/run.log; exit 1; fi; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://$(TELEMETRY_ADDR)/healthz | grep -q '^ok$$'; \
+	curl -fsS http://$(TELEMETRY_ADDR)/metrics >$$out/metrics.txt; \
+	grep -q '^video_frames_total ' $$out/metrics.txt; \
+	grep -q 'le="+Inf"' $$out/metrics.txt; \
+	curl -fsS http://$(TELEMETRY_ADDR)/metrics.json >/dev/null; \
+	curl -fsS http://$(TELEMETRY_ADDR)/debug/slo | grep -q '"stages"'; \
+	curl -fsS http://$(TELEMETRY_ADDR)/debug/frames | grep -q '"frame"'; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null || true; \
+	echo "telemetry-smoke: all endpoints OK"
 
 clean:
 	$(GO) clean ./...

@@ -7,6 +7,7 @@ import (
 	"hebs/internal/analysis"
 	"hebs/internal/analyzers/errdrop"
 	"hebs/internal/analyzers/floateq"
+	"hebs/internal/analyzers/metricname"
 	"hebs/internal/analyzers/spanend"
 )
 
@@ -15,6 +16,7 @@ func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		errdrop.Analyzer,
 		floateq.Analyzer,
+		metricname.Analyzer,
 		spanend.Analyzer,
 	}
 }

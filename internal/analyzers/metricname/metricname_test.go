@@ -1,0 +1,15 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", metricname.Analyzer, "metricnametest")
+	if len(diags) != 9 {
+		t.Fatalf("got %d diagnostics, want 9", len(diags))
+	}
+}

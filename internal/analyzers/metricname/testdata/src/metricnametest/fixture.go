@@ -1,0 +1,45 @@
+// Fixture for the metricname analyzer: conforming names, every class
+// of violation, runtime-built names (skipped), and non-obs calls with
+// string arguments (ignored).
+package metricnametest
+
+import "hebs/internal/obs"
+
+const goodName = "core.frames_total"
+const badName = "Core.Frames"
+
+var (
+	_ = obs.NewCounter("video.frames_total")
+	_ = obs.NewGauge("core.plan_cache.entries")
+	_ = obs.NewHistogram("video.frame.seconds", obs.LatencyBuckets())
+	_ = obs.NewCounter(goodName) // constants resolve through identifiers
+
+	_ = obs.NewCounter("Video.Frames")     // want `metric name "Video.Frames" does not match`
+	_ = obs.NewGauge("1starts.with.digit") // want `metric name "1starts.with.digit" does not match`
+	_ = obs.NewHistogram("has-dash", nil)  // want `metric name "has-dash" does not match`
+	_ = obs.NewCounter("")                 // want `metric name "" does not match`
+	_ = obs.NewCounter(badName)            // want `metric name "Core.Frames" does not match`
+	_ = obs.NewCounter("has space")        // want `metric name "has space" does not match`
+)
+
+func registryMethods(r *obs.Registry, dynamic string) {
+	r.Counter("ok.counter_total")
+	r.Gauge("ok.gauge")
+	r.Histogram("ok.seconds", obs.LatencyBuckets())
+
+	r.Counter("Bad.Counter")  // want `metric name "Bad.Counter" does not match`
+	r.Gauge("bad gauge")      // want `metric name "bad gauge" does not match`
+	r.Histogram("BAD", nil)   // want `metric name "BAD" does not match`
+	r.Counter("snake__ok.v2") // double underscores and digits after the head are fine
+
+	// Runtime-built names are out of scope for the static check.
+	r.Counter("slo." + dynamic + ".breaches_total")
+	r.Counter(dynamic)
+}
+
+// notAMetric proves unrelated calls with string literals are ignored.
+func notAMetric() string {
+	return sameShape("Not.A.Metric")
+}
+
+func sameShape(name string) string { return name }

@@ -142,6 +142,10 @@ type Result struct {
 	// RealizationError is the MSE between the hardware's displayed
 	// luminance and Λ (0 unless Options.Driver set).
 	RealizationError float64
+	// PlanCached reports whether the Plan came from the engine's LRU
+	// rather than a fresh equalize/plc solve (always false on engines
+	// with caching disabled, including the legacy wrappers).
+	PlanCached bool
 
 	// eng is the engine whose pool owns Transformed; set by
 	// Engine.Process so Release can recycle the buffer.

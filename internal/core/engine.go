@@ -120,6 +120,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	}
 	if size > 0 {
 		e.planCache = &planCache{cap: size}
+		gPlanCacheCapacity.Set(float64(size))
 	}
 	return e
 }
@@ -176,6 +177,7 @@ func (e *Engine) PoolStats() PoolStats {
 
 func (e *Engine) getGray(w, h int) *gray.Image {
 	e.gets.Add(1)
+	mPoolGets.Inc()
 	if v := e.grayPool.Get(); v != nil {
 		img := v.(*gray.Image)
 		if img.W == w && img.H == h {
@@ -184,6 +186,7 @@ func (e *Engine) getGray(w, h int) *gray.Image {
 		// Geometry changed: drop the stale buffer and allocate fresh.
 	}
 	e.misses.Add(1)
+	mPoolMisses.Inc()
 	return gray.New(w, h)
 }
 
@@ -192,11 +195,13 @@ func (e *Engine) putGray(img *gray.Image) {
 		return
 	}
 	e.puts.Add(1)
+	mPoolPuts.Inc()
 	e.grayPool.Put(img)
 }
 
 func (e *Engine) getRGB(w, h int) *rgb.Image {
 	e.gets.Add(1)
+	mPoolGets.Inc()
 	if v := e.rgbPool.Get(); v != nil {
 		img := v.(*rgb.Image)
 		if img.W == w && img.H == h {
@@ -204,6 +209,7 @@ func (e *Engine) getRGB(w, h int) *rgb.Image {
 		}
 	}
 	e.misses.Add(1)
+	mPoolMisses.Inc()
 	return rgb.New(w, h)
 }
 
@@ -212,15 +218,18 @@ func (e *Engine) putRGB(img *rgb.Image) {
 		return
 	}
 	e.puts.Add(1)
+	mPoolPuts.Inc()
 	e.rgbPool.Put(img)
 }
 
 func (e *Engine) getHist() *histogram.Histogram {
 	e.gets.Add(1)
+	mPoolGets.Inc()
 	if v := e.histPool.Get(); v != nil {
 		return v.(*histogram.Histogram)
 	}
 	e.misses.Add(1)
+	mPoolMisses.Inc()
 	return &histogram.Histogram{}
 }
 
@@ -229,6 +238,7 @@ func (e *Engine) putHist(h *histogram.Histogram) {
 		return
 	}
 	e.puts.Add(1)
+	mPoolPuts.Inc()
 	e.histPool.Put(h)
 }
 
@@ -357,6 +367,7 @@ func (c *planCache) store(hash uint64, h *histogram.Histogram, r, segments int, 
 		c.entries = c.entries[:n]
 	}
 	c.entries = append(c.entries, e)
+	gPlanCacheEntries.Set(float64(len(c.entries)))
 	c.mu.Unlock()
 }
 
@@ -534,7 +545,7 @@ func (e *Engine) Analyze(ctx context.Context, img *gray.Image, opts Options) (*A
 
 // planFor computes (or retrieves from the LRU) the Plan for a
 // histogram at range r, with stage spans as children of parent.
-func (e *Engine) planFor(ctx context.Context, parent *obs.Span, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (*Plan, error) {
+func (e *Engine) planFor(ctx context.Context, parent *obs.Span, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipFactor float64) (plan *Plan, cached bool, err error) {
 	if segments <= 0 {
 		segments = driver.DefaultConfig.Sources
 	}
@@ -545,18 +556,18 @@ func (e *Engine) planFor(ctx context.Context, parent *obs.Span, h *histogram.His
 		if plan := e.planCache.lookup(hash, h, r, segments, drv, eq, clipBits); plan != nil {
 			mPlanCacheHits.Inc()
 			parent.SetBool("plan_cached", true)
-			return plan, nil
+			return plan, true, nil
 		}
 		mPlanCacheMisses.Inc()
 	}
-	plan, err := planFromHistogramCtx(ctx, parent, h, r, segments, drv, eq, clipFactor)
+	plan, err = planFromHistogramCtx(ctx, parent, h, r, segments, drv, eq, clipFactor)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if e.planCache != nil {
 		e.planCache.store(hash, h, r, segments, drv, eq, clipBits, plan)
 	}
-	return plan, nil
+	return plan, false, nil
 }
 
 // PlanFor runs the Plan stage alone: histogram → Φ → Λ → β → PLRD
@@ -573,7 +584,8 @@ func (e *Engine) PlanFor(ctx context.Context, h *histogram.Histogram, r int, opt
 	if segments < 0 {
 		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
 	}
-	return e.planFor(ctx, sp, h, r, segments, opts.Driver, opts.Equalizer, opts.ClipFactor)
+	plan, _, err := e.planFor(ctx, sp, h, r, segments, opts.Driver, opts.Equalizer, opts.ClipFactor)
+	return plan, err
 }
 
 // Apply runs the Apply stage alone: Λ remapped over img into a pooled
@@ -685,7 +697,7 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 	// Steps 2+3: histogram -> Φ -> Λ (+ the PLRD program) — the Plan
 	// stage, the part the LCD controller computes from its histogram
 	// estimator alone.
-	plan, err := e.planFor(ctx, sp, h, r, segments,
+	plan, planCached, err := e.planFor(ctx, sp, h, r, segments,
 		opts.Driver, opts.Equalizer, opts.ClipFactor)
 	if err != nil {
 		return nil, err
@@ -714,6 +726,7 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 		PredictedDistortion: predicted,
 		PLCError:            plan.PLCError,
 		Program:             plan.Program,
+		PlanCached:          planCached,
 		eng:                 e,
 	}
 	if err := ctx.Err(); err != nil {

@@ -42,6 +42,19 @@ var (
 	mPlanCacheHits   = obs.NewCounter("core.plan_cache_hits_total")
 	mPlanCacheMisses = obs.NewCounter("core.plan_cache_misses_total")
 
+	// Plan-LRU occupancy of the most recently active caching engine
+	// (multiple engines share the gauge; the counters above are the
+	// cross-engine truth).
+	gPlanCacheEntries  = obs.NewGauge("core.plan_cache.entries")
+	gPlanCacheCapacity = obs.NewGauge("core.plan_cache.capacity")
+
+	// Buffer-pool traffic across all engines — PoolStats as live
+	// registry counters so a result-leaking workload shows up at
+	// /metrics as gets_total pulling away from puts_total.
+	mPoolGets   = obs.NewCounter("core.pool.gets_total")
+	mPoolPuts   = obs.NewCounter("core.pool.puts_total")
+	mPoolMisses = obs.NewCounter("core.pool.misses_total")
+
 	// Operating-point distributions: the per-image quantities the
 	// comparative-HE literature evaluates, as first-class telemetry.
 	mRangeDist      = obs.NewHistogram("core.range", obs.LinearBuckets(0, 32, 8))

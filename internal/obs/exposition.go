@@ -1,0 +1,117 @@
+// Prometheus text exposition (format version 0.0.4) for the metrics
+// registry. The registry's native snapshot is the -metrics-out JSON;
+// this file renders the same instruments in the line format every
+// Prometheus-compatible scraper understands: counters and gauges as
+// single samples, histograms as cumulative le-bucket series with an
+// explicit +Inf bucket plus the _sum and _count samples. Output is
+// sorted by metric name, so for a fixed set of instruments the bytes
+// are deterministic (golden-tested).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// PromContentType is the Content-Type the /metrics endpoint serves:
+// the text-based exposition format, version 0.0.4.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a registry metric name onto the Prometheus name
+// grammar. Registry names follow the project convention
+// ^[a-z][a-z0-9_.]*$ (enforced by the hebslint metricname analyzer),
+// so in practice the only rewrite is '.' → '_'; the sanitizer is
+// nevertheless total — any byte outside [a-zA-Z0-9_:] becomes '_' and
+// a leading digit gains a '_' prefix — so a misnamed metric degrades
+// to an ugly name instead of corrupting the exposition.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// promFloat renders a float64 sample value (or le label) in the
+// exposition grammar: shortest round-trip decimal, with the spellings
+// Prometheus expects for the non-finite values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes a point-in-time snapshot of the registry in
+// the Prometheus text format. Histogram buckets are emitted cumulative
+// (each le bucket includes every smaller bucket) and always end with
+// the +Inf bucket, whose value equals the _count sample — the overflow
+// bucket the JSON snapshot reports separately is folded in there.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", pn, promFloat(b.LE), cum)
+		}
+		cum += h.Overflow
+		fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(bw, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(bw, "%s_count %d\n", pn, h.Count)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"video.frame.seconds":    "video_frame_seconds",
+		"core.stage.plc.seconds": "core_stage_plc_seconds",
+		"already_fine_total":     "already_fine_total",
+		"9starts.with.digit":     "_9starts_with_digit",
+		"bad-chars space%":       "bad_chars_space_",
+		"":                       "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// goldenRegistry builds the fixed registry the golden file pins.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("core.frames_total").Add(3)
+	r.Counter("video.cut_snaps_total") // zero-valued counters still export
+	r.Gauge("core.last_beta").Set(0.5)
+	r.Gauge("video.last_mean_saving_pct").Set(27.25)
+	h := r.Histogram("video.frame.seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.02)
+	h.Observe(5) // above the top bound: only the +Inf bucket catches it
+	return r
+}
+
+// TestWritePrometheusGolden pins the exposition bytes against the
+// checked-in golden file. Regenerate with UPDATE_GOLDEN=1 go test
+// -run TestWritePrometheusGolden ./internal/obs after a deliberate
+// format change.
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := goldenRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "metrics.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParses validates the live default-registry output
+// line by line against the exposition grammar the smoke job relies on:
+// every non-comment line is `name[{le="..."}] value`, histogram series
+// are cumulative and end in a +Inf bucket matching _count.
+func TestWritePrometheusParses(t *testing.T) {
+	NewCounter("obs_test.exposition_probe_total").Inc()
+	NewHistogram("obs_test.exposition_probe.seconds", LatencyBuckets()).Observe(0.002)
+	var sb strings.Builder
+	if err := Default().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty exposition")
+	}
+	types := map[string]string{}
+	var cum = map[string]int64{}
+	var lastLE = map[string]float64{}
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# TYPE ") {
+			f := strings.Fields(ln)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", ln)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(ln, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", ln)
+		}
+		series, val := ln[:sp], ln[sp+1:]
+		if _, err := strconv.ParseFloat(strings.TrimPrefix(val, "+"), 64); err != nil {
+			t.Fatalf("line %q: value %q does not parse: %v", ln, val, err)
+		}
+		name := series
+		var le string
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			label := series[i:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("line %q: unexpected label set %q", ln, label)
+			}
+			le = label[len(`{le="`) : len(label)-len(`"}`)]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+				base = b
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			t.Fatalf("line %q: sample without preceding TYPE", ln)
+		}
+		if typ != "histogram" && base != name {
+			t.Fatalf("line %q: suffix on non-histogram", ln)
+		}
+		for _, c := range name {
+			if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':') {
+				t.Fatalf("line %q: invalid metric name char %q", ln, c)
+			}
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", ln, err)
+			}
+			if n < cum[base] {
+				t.Fatalf("bucket line %q: cumulative count decreased (%d < %d)", ln, n, cum[base])
+			}
+			cum[base] = n
+			f := math.Inf(1)
+			if le != "+Inf" {
+				f, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bucket line %q: le %q: %v", ln, le, err)
+				}
+			}
+			if prev, ok := lastLE[base]; ok && f <= prev {
+				t.Fatalf("bucket line %q: le not increasing (%v <= %v)", ln, f, prev)
+			}
+			lastLE[base] = f
+		}
+		if strings.HasSuffix(name, "_count") {
+			n, _ := strconv.ParseInt(val, 10, 64)
+			if last := lastLE[base]; !math.IsInf(last, 1) {
+				t.Errorf("histogram %s: last bucket le=%v, want +Inf", base, last)
+			}
+			if n != cum[base] {
+				t.Errorf("histogram %s: _count %d != +Inf bucket %d", base, n, cum[base])
+			}
+		}
+	}
+	for _, probe := range []string{"obs_test_exposition_probe_total", "obs_test_exposition_probe_seconds"} {
+		if _, ok := types[probe]; !ok {
+			t.Errorf("probe metric %s missing from exposition", probe)
+		}
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("demo.frames_total").Add(2)
+	h := r.Histogram("demo.latency.seconds", []float64{0.01})
+	h.Observe(0.005)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		panic(err)
+	}
+	fmt.Print(sb.String())
+	// Output:
+	// # TYPE demo_frames_total counter
+	// demo_frames_total 2
+	// # TYPE demo_latency_seconds histogram
+	// demo_latency_seconds_bucket{le="0.01"} 1
+	// demo_latency_seconds_bucket{le="+Inf"} 1
+	// demo_latency_seconds_sum 0.005
+	// demo_latency_seconds_count 1
+}

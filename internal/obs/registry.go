@@ -36,6 +36,18 @@ type Gauge struct{ bits atomic.Uint64 }
 // Set records the value.
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
+// Add adjusts the gauge by delta (atomically, via CAS — safe for
+// concurrent inc/dec pairs such as an in-flight counter).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the last recorded value (0 before any Set).
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
@@ -48,6 +60,11 @@ type Histogram struct {
 	counts  []int64 // len(bounds)+1; last is overflow
 	count   atomic.Int64
 	sumBits atomic.Uint64 // float64 accumulated via CAS
+
+	// win, when attached (SLO tracking), additionally receives every
+	// observation into a rolling window. Nil costs one predictable
+	// atomic load per Observe — the same discipline as the span sink.
+	win atomic.Pointer[Window]
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -63,6 +80,9 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	atomic.AddInt64(&h.counts[i], 1)
 	h.count.Add(1)
+	if w := h.win.Load(); w != nil {
+		w.Observe(v)
+	}
 	for {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -71,6 +91,26 @@ func (h *Histogram) Observe(v float64) {
 		}
 	}
 }
+
+// EnableWindow attaches a rolling window of the given size to the
+// histogram (idempotent: an existing window is kept and returned, its
+// original size preserved). The windowed quantile layer of the SLO
+// tracker calls this; plain histograms never pay more than the nil
+// check in Observe.
+func (h *Histogram) EnableWindow(size int) *Window {
+	for {
+		if w := h.win.Load(); w != nil {
+			return w
+		}
+		w := NewWindow(size)
+		if h.win.CompareAndSwap(nil, w) {
+			return w
+		}
+	}
+}
+
+// Window returns the attached rolling window, or nil when none.
+func (h *Histogram) Window() *Window { return h.win.Load() }
 
 // ObserveDuration records a latency in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
@@ -141,8 +181,13 @@ func ExponentialBuckets(start, factor float64, n int) []float64 {
 }
 
 // LatencyBuckets is the shared bucket layout for per-stage latency
-// histograms: 10µs … ~80ms in doubling steps (seconds).
-func LatencyBuckets() []float64 { return ExponentialBuckets(10e-6, 2, 14) }
+// histograms: 10µs … ~5.2s in doubling steps (seconds, 20 buckets).
+// The ladder deliberately extends well past any frame budget — the
+// slow-path outliers (cold caches, first-frame exact searches, debug
+// builds) are exactly the observations a latency histogram exists to
+// resolve, so they must not all collapse into the +Inf bucket the
+// Prometheus exposition appends.
+func LatencyBuckets() []float64 { return ExponentialBuckets(10e-6, 2, 20) }
 
 // Registry holds named instruments. Registration is get-or-create:
 // asking for an existing name returns the existing instrument (package

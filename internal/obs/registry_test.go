@@ -71,8 +71,13 @@ func TestBucketLayoutHelpers(t *testing.T) {
 		t.Errorf("ExponentialBuckets = %v, want %v", exp, want)
 	}
 	lat := LatencyBuckets()
-	if len(lat) != 14 || lat[0] != 10e-6 {
+	if len(lat) != 20 || lat[0] != 10e-6 {
 		t.Errorf("LatencyBuckets = %v", lat)
+	}
+	// The ladder must comfortably cover slow-path outliers (>= 1s) so
+	// they resolve into real buckets instead of +Inf.
+	if top := lat[len(lat)-1]; top < 1 {
+		t.Errorf("LatencyBuckets top %v < 1s: outliers would crush into +Inf", top)
 	}
 	for i := 1; i < len(lat); i++ {
 		if lat[i] <= lat[i-1] {

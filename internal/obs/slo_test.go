@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestWindowQuantileMatchesBruteForce drives a window with random data
+// and checks every reported quantile against a brute-force sorted
+// slice of the exact same retained suffix.
+func TestWindowQuantileMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, size := range []int{1, 7, 64, 1000} {
+		w := NewWindow(size)
+		var all []float64
+		for i := 0; i < 3*size+17; i++ {
+			v := rng.ExpFloat64() * 0.01 // latency-shaped
+			w.Observe(v)
+			all = append(all, v)
+
+			keep := all
+			if len(keep) > size {
+				keep = keep[len(keep)-size:]
+			}
+			want := append([]float64(nil), keep...)
+			sort.Float64s(want)
+			got := w.Values(nil)
+			if len(got) != len(want) {
+				t.Fatalf("size %d after %d: window holds %d values, want %d", size, i+1, len(got), len(want))
+			}
+			sort.Float64s(got)
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("size %d after %d: window contents diverge at %d: %v vs %v", size, i+1, k, got[k], want[k])
+				}
+			}
+			for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1} {
+				if g, wq := Quantile(got, q), Quantile(want, q); g != wq {
+					t.Fatalf("size %d after %d: q%v = %v, want %v", size, i+1, q, g, wq)
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.25, 1}, {0.5, 2}, {0.75, 3}, {0.99, 4}, {1, 4}, {0.01, 1}}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(empty) = %v, want 0", got)
+	}
+}
+
+// TestWindowConcurrent hammers one window from many goroutines; run
+// under -race this proves Observe/Values are race-clean, and the
+// total-count bookkeeping must be exact.
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(128)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				w.Observe(float64(g*per + i))
+				if i%100 == 0 {
+					_ = w.Values(nil)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Count(); got != 128 {
+		t.Errorf("Count = %d, want 128 (full window)", got)
+	}
+	vals := w.Values(nil)
+	for _, v := range vals {
+		if v < 0 || v >= workers*per {
+			t.Errorf("window holds out-of-range value %v", v)
+		}
+	}
+}
+
+func TestHistogramWindowAttach(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t.seconds", LatencyBuckets())
+	if h.Window() != nil {
+		t.Fatal("fresh histogram has a window")
+	}
+	h.Observe(0.5) // pre-attach observations are simply not windowed
+	w := h.EnableWindow(16)
+	if h.EnableWindow(99) != w {
+		t.Error("EnableWindow is not idempotent")
+	}
+	h.Observe(0.001)
+	h.Observe(0.002)
+	if got := w.Count(); got != 2 {
+		t.Errorf("window count = %d, want 2 (pre-attach observe must not appear)", got)
+	}
+}
+
+func TestParseSLOSpecs(t *testing.T) {
+	got, err := ParseSLOSpecs("video.frame.seconds:p99<33ms, core.stage.plc.seconds:p95<0.002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SLOBudget{
+		{Metric: "video.frame.seconds", Quantile: 0.99, Budget: 0.033},
+		{Metric: "core.stage.plc.seconds", Quantile: 0.95, Budget: 0.002},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d budgets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Metric != want[i].Metric || got[i].Quantile != want[i].Quantile ||
+			math.Abs(got[i].Budget-want[i].Budget) > 1e-12 {
+			t.Errorf("budget %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if b, err := ParseSLOSpecs("m.seconds:p999<1s"); err != nil || b[0].Quantile != 0.999 {
+		t.Errorf("p999: %v %v", b, err)
+	}
+	if b, err := ParseSLOSpecs(""); err != nil || len(b) != 0 {
+		t.Errorf("empty spec: %v %v", b, err)
+	}
+	if b, err := ParseSLOSpecs(DefaultSLOSpec); err != nil || len(b) != 1 {
+		t.Errorf("DefaultSLOSpec must parse: %v %v", b, err)
+	}
+	for _, bad := range []string{"noquantile", "m:p99", "m:q99<1", "m:p99<", "m:p99<-1", "m:p0<1", "m:p100<1x"} {
+		if _, err := ParseSLOSpecs(bad); err == nil {
+			t.Errorf("ParseSLOSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSLOTrackerBreach(t *testing.T) {
+	r := NewRegistry()
+	tr := NewSLOTracker(r, 64)
+	if err := tr.SetBudget(SLOBudget{Metric: "t.frame.seconds", Quantile: 0.99, Budget: 0.010}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Track("t.other.seconds")
+	var breached []*SLOReport
+	tr.OnBreach = func(rep *SLOReport) { breached = append(breached, rep) }
+
+	h := r.Histogram("t.frame.seconds", LatencyBuckets())
+	for i := 0; i < 60; i++ {
+		h.Observe(0.005) // all under budget
+	}
+	rep := tr.Check()
+	if rep.Breached() || len(breached) != 0 {
+		t.Fatalf("under-budget window breached: %+v", rep)
+	}
+	if len(rep.Stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(rep.Stages))
+	}
+	st := rep.Stages[0]
+	if st.Metric != "t.frame.seconds" || st.Count != 60 || st.P99 != 0.005 || st.Value != 0.005 {
+		t.Errorf("stage report %+v", st)
+	}
+
+	// Push the p99 over budget: 10% of the window at 50ms.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.050)
+	}
+	rep = tr.Check()
+	if !rep.Breached() {
+		t.Fatalf("over-budget window not breached: %+v", rep.Stages[0])
+	}
+	if len(breached) != 1 {
+		t.Errorf("OnBreach ran %d times, want 1", len(breached))
+	}
+	if got := r.Counter("slo.t.frame.seconds.breaches_total").Value(); got != 1 {
+		t.Errorf("breach counter = %d, want 1", got)
+	}
+	if rep.Stages[0].Breaches != 1 {
+		t.Errorf("stage Breaches = %d, want 1", rep.Stages[0].Breaches)
+	}
+	// A second check over the same window counts again (sampled
+	// semantics) and the untracked budget fields stay zero.
+	rep = tr.Check()
+	if got := r.Counter("slo.t.frame.seconds.breaches_total").Value(); got != 2 {
+		t.Errorf("breach counter after second check = %d, want 2", got)
+	}
+	if other := rep.Stages[1]; other.Metric != "t.other.seconds" || other.Budget != 0 || other.Breached {
+		t.Errorf("unbudgeted stage %+v", other)
+	}
+}
+
+func TestSLOTrackerValidation(t *testing.T) {
+	tr := NewSLOTracker(NewRegistry(), 8)
+	for _, b := range []SLOBudget{
+		{Metric: "", Quantile: 0.5, Budget: 1},
+		{Metric: "m", Quantile: 0, Budget: 1},
+		{Metric: "m", Quantile: 1, Budget: 1},
+		{Metric: "m", Quantile: 0.5, Budget: 0},
+	} {
+		if err := tr.SetBudget(b); err == nil {
+			t.Errorf("SetBudget(%+v) accepted", b)
+		}
+	}
+}

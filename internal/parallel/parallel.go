@@ -52,7 +52,9 @@ func ForEach(ctx context.Context, jobs, workers int, fn func(i int) error) error
 		return ctx.Err()
 	}
 	workers = Workers(workers, jobs)
+	mJobs.Add(int64(jobs))
 	if workers == 1 {
+		mInlineRuns.Inc()
 		for i := 0; i < jobs; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -78,6 +80,8 @@ func ForEach(ctx context.Context, jobs, workers int, fn func(i int) error) error
 		mu.Unlock()
 		stopped.Store(true)
 	}
+	mFanouts.Inc()
+	mWorkers.Add(int64(workers))
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -140,6 +144,7 @@ func Shard(n, shards int, fn func(shard, lo, hi int)) int {
 		fn(0, 0, n)
 		return 1
 	}
+	mShardFanouts.Inc()
 	var wg sync.WaitGroup
 	for s := 0; s < shards-1; s++ {
 		wg.Add(1)

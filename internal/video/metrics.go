@@ -1,10 +1,14 @@
 // Observability instruments for the temporal pipeline: per-frame
 // counters for the policy decisions (range reuse, slew limiting, cut
-// snaps) and last-run flicker gauges, so flicker-policy behaviour is
-// attributable without re-running a clip.
+// snaps), last-run flicker gauges, the in-flight frame gauge, and the
+// flight-recorder feed, so flicker-policy behaviour is attributable
+// without re-running a clip.
 package video
 
-import "hebs/internal/obs"
+import (
+	"hebs/internal/histogram"
+	"hebs/internal/obs"
+)
 
 var (
 	mSequences   = obs.NewCounter("video.sequences_total")
@@ -16,7 +20,36 @@ var (
 
 	mFrameLatency = obs.NewHistogram("video.frame.seconds", obs.LatencyBuckets())
 
+	// Frames currently inside the Apply/measure stage — under the
+	// pipelined scheduler this reads up to the worker bound; a value
+	// stuck above zero between clips indicates a wedged worker.
+	gInflight = obs.NewGauge("video.pipeline.inflight_frames")
+
 	gMeanSaving   = obs.NewGauge("video.last_mean_saving_pct")
 	gMeanAbsDelta = obs.NewGauge("video.last_mean_abs_delta_beta")
 	gMaxAbsDelta  = obs.NewGauge("video.last_max_abs_delta_beta")
 )
+
+// flightHistHash is FNV-1a over a frame histogram's bins and pixel
+// count — the flight record's scene fingerprint (two frames with equal
+// hashes almost surely share a histogram, hence a plan). Called only
+// when the flight recorder is enabled.
+func flightHistHash(h *histogram.Histogram) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	x := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			x ^= v & 0xff
+			x *= prime64
+			v >>= 8
+		}
+	}
+	for _, c := range h.Bins {
+		mix(uint64(c))
+	}
+	mix(uint64(h.N))
+	return x
+}

@@ -33,6 +33,7 @@ import (
 	"hebs/internal/core"
 	"hebs/internal/histogram"
 	"hebs/internal/invariant"
+	"hebs/internal/obs"
 	"hebs/internal/parallel"
 	"hebs/internal/power"
 	"hebs/internal/transform"
@@ -257,6 +258,8 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 		fsp.SetInt("frame", pol.frameOffset+i)
 		defer func() { mFrameLatency.ObserveDuration(time.Since(start)) }()
 		mFrames.Inc()
+		gInflight.Add(1)
+		defer gInflight.Add(-1)
 		if st[i].reuse {
 			fsp.SetBool("range_reused", true)
 		}
@@ -284,6 +287,7 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 			Range:      r.Range,
 			Distortion: r.AchievedDistortion,
 		}
+		planCached := r.PlanCached
 		saving, err := sub.SavingPercent(seq.Frames[i], r.Transformed, r.Beta)
 		r.Release()
 		if err != nil {
@@ -294,6 +298,25 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 		fsp.SetFloat("applied_beta", fr.Beta)
 		fsp.SetInt("range", fr.Range)
 		fsp.SetFloat("saving_pct", fr.SavingPercent)
+		if rec := obs.Flight(); rec != nil {
+			var hh uint64
+			if pol.ReuseThreshold > 0 {
+				hh = flightHistHash(&st[i].hist) // phase A filled it
+			}
+			rec.Record(obs.FrameRecord{
+				Frame:       pol.frameOffset + i,
+				TargetBeta:  fr.TargetBeta,
+				Beta:        fr.Beta,
+				Range:       fr.Range,
+				HistHash:    hh,
+				PlanCached:  planCached,
+				RangeReused: st[i].reuse,
+				CutSnap:     st[i].cut,
+				SlewLimited: st[i].slew,
+				Workers:     workers,
+				Seconds:     time.Since(start).Seconds(),
+			})
+		}
 		st[i].fr = fr
 		st[i].done = true
 		return nil

@@ -19,6 +19,7 @@ import (
 	"hebs/internal/gray"
 	"hebs/internal/histogram"
 	"hebs/internal/invariant"
+	"hebs/internal/obs"
 	"hebs/internal/power"
 	"hebs/internal/transform"
 )
@@ -233,6 +234,9 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 		fsp.SetInt("frame", pol.frameOffset+i)
 		defer func() { mFrameLatency.ObserveDuration(time.Since(start)) }()
 		mFrames.Inc()
+		gInflight.Add(1)
+		defer gInflight.Add(-1)
+		reused := false
 		opts := pol.Options
 		opts.Trace = fsp // attribute the pipeline run to this frame
 		if est != nil {
@@ -251,6 +255,7 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 					opts.MaxDistortionPercent = 0
 					opts.ExactSearch = false
 					fsp.SetBool("range_reused", true)
+					reused = true
 					mRangeReuse.Inc()
 				}
 			}
@@ -282,11 +287,13 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 			}
 		}
 		fr := FrameResult{TargetBeta: target, Beta: applied}
+		slewed := false
 		//hebslint:allow floateq applied is assigned from target unless slew-limited
 		if applied != target {
 			// Re-run the pipeline at the applied range so the image is
 			// transformed consistently with the actual backlight.
 			fsp.SetBool("slew_limited", true)
+			slewed = true
 			mSlewLimited.Inc()
 			rng, err := power.RangeForBeta(applied, transform.Levels)
 			if err != nil {
@@ -307,12 +314,32 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 		fr.Range = r.Range
 		fr.Beta = r.Beta
 		fr.Distortion = r.AchievedDistortion
+		planCached := r.PlanCached
 		saving, err := sub.SavingPercent(frame, r.Transformed, r.Beta)
 		r.Release()
 		if err != nil {
 			return FrameResult{}, err
 		}
 		fr.SavingPercent = saving
+		if rec := obs.Flight(); rec != nil {
+			var hh uint64
+			if est != nil {
+				hh = flightHistHash(&frameHist)
+			}
+			rec.Record(obs.FrameRecord{
+				Frame:       pol.frameOffset + i,
+				TargetBeta:  fr.TargetBeta,
+				Beta:        fr.Beta,
+				Range:       fr.Range,
+				HistHash:    hh,
+				PlanCached:  planCached,
+				RangeReused: reused,
+				CutSnap:     cutSnap,
+				SlewLimited: slewed,
+				Workers:     1,
+				Seconds:     time.Since(start).Seconds(),
+			})
+		}
 		if invariant.Enabled {
 			invariant.AssertBeta("video: target β", fr.TargetBeta)
 			invariant.AssertBeta("video: applied β", fr.Beta)
