@@ -38,6 +38,7 @@ FUZZ_TARGETS := \
 	FuzzCoarsen:./internal/plc \
 	FuzzDetectCuts:./internal/video \
 	FuzzOfIntoShards:./internal/histogram \
+	FuzzDeltaHistogram:./internal/histogram \
 	FuzzDecodePNM:./internal/imageio \
 	FuzzEncodeDecodePGM:./internal/imageio
 

@@ -89,6 +89,8 @@ func run(args []string, out io.Writer) (err error) {
 	dumpDir := fs.String("dump", "", "write the Figure 8 image dumps (PGM) into this directory")
 	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations,perf (perf is opt-in)")
 	workers := fs.Int("workers", 0, "worker goroutines for the suite fan-outs and perf runs (0 = all CPUs, 1 = serial)")
+	delta := fs.Bool("delta", false, "enable incremental delta analysis on the video/steady16 perf benchmark (video/static16 and video/talking16 always run with it)")
+	tileSize := fs.Int("tile-size", 0, "delta-analysis tile edge for the perf benchmarks (0 = default 64)")
 	jsonOut := fs.String("json", "", "write the emitted tables plus a metrics snapshot as JSON to this file")
 	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -268,7 +270,7 @@ func run(args []string, out io.Writer) (err error) {
 	// The perf section is opt-in (`-only perf`): testing.Benchmark runs
 	// take seconds each and have no place in the default artifact run.
 	if selected["perf"] {
-		recs, err := runPerf(ctx, *workers)
+		recs, err := runPerf(ctx, *workers, *delta, *tileSize)
 		if err != nil {
 			return err
 		}
@@ -402,13 +404,15 @@ func perfWorkerSet(workers int) []int {
 	return []int{1, resolved}
 }
 
-// runPerf measures the two headline paths — the 16-frame steady-state
-// clip through the video scheduler, and the single-image exact range
-// search — at each worker count, via testing.Benchmark so iteration
-// counts self-calibrate. The records are the stable schema consumed by
-// cmd/hebsbenchcmp and checked into BENCH_pipeline.json; mb_per_clip
-// is the heap allocated per operation (one clip / one image) in MB.
-func runPerf(ctx context.Context, workers int) ([]perfRecord, error) {
+// runPerf measures the headline paths — the 16-frame steady-state clip
+// through the video scheduler (with and without incremental delta
+// analysis), a mostly-static "talking head" clip exercising the partial
+// re-bin path, and the single-image exact range search — at each worker
+// count, via testing.Benchmark so iteration counts self-calibrate. The
+// records are the stable schema consumed by cmd/hebsbenchcmp and
+// checked into BENCH_pipeline.json; mb_per_clip is the heap allocated
+// per operation (one clip / one image) in MB.
+func runPerf(ctx context.Context, workers int, delta bool, tileSize int) ([]perfRecord, error) {
 	frame, err := sipi.Generate("lena", 128, 128)
 	if err != nil {
 		return nil, err
@@ -418,6 +422,10 @@ func runPerf(ctx context.Context, workers int) ([]perfRecord, error) {
 		frames[i] = frame
 	}
 	seq, err := video.NewSequence(frames)
+	if err != nil {
+		return nil, err
+	}
+	talkSeq, err := talkingClip(128, 16)
 	if err != nil {
 		return nil, err
 	}
@@ -465,12 +473,31 @@ func runPerf(ctx context.Context, workers int) ([]perfRecord, error) {
 		pol := video.Policy{
 			MaxStep:        0.04,
 			ReuseThreshold: 4,
+			DeltaAnalysis:  delta,
+			TileSize:       tileSize,
 			Workers:        w,
 			Engine:         eng,
 			Options:        core.Options{MaxDistortionPercent: 10, ExactSearch: true},
 		}
 		if err := record("video/steady16", w, func() error {
 			_, err := video.ProcessContext(ctx, seq, pol)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		// The delta benchmarks: the same steady clip on the incremental
+		// path (every frame fuses — the ceiling), and a talking-head clip
+		// where a small patch changes per frame (the partial re-bin path).
+		dpol := pol
+		dpol.DeltaAnalysis = true
+		if err := record("video/static16", w, func() error {
+			_, err := video.ProcessContext(ctx, seq, dpol)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err := record("video/talking16", w, func() error {
+			_, err := video.ProcessContext(ctx, talkSeq, dpol)
 			return err
 		}); err != nil {
 			return nil, err
@@ -488,6 +515,34 @@ func runPerf(ctx context.Context, workers int) ([]perfRecord, error) {
 		}
 	}
 	return recs, nil
+}
+
+// talkingClip builds the deterministic "talking head" benchmark clip: a
+// portrait base frame with a small animated mouth patch, so most tiles
+// are checksum-identical frame to frame and only the patch's tiles
+// re-bin. Pure function of (size, frames) — same determinism contract
+// as the sipi generators.
+func talkingClip(size, count int) (*video.Sequence, error) {
+	base, err := sipi.Generate("girl", size, size)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]*gray.Image, count)
+	pw, ph := size/6, size/10 // patch dimensions
+	x0, y0 := (size-pw)/2, size*2/3
+	for i := range frames {
+		f := gray.New(size, size)
+		copy(f.Pix, base.Pix)
+		for y := y0; y < y0+ph && y < size; y++ {
+			for x := x0; x < x0+pw && x < size; x++ {
+				// A moving diagonal ramp: varies per frame, stays in a
+				// mid-gray band so the histogram shifts slightly.
+				f.Pix[y*size+x] = uint8(96 + (x-x0+y-y0+7*i)%64)
+			}
+		}
+		frames[i] = f
+	}
+	return video.NewSequence(frames)
 }
 
 // dumpFigure8 writes the original / transformed / compensated preview

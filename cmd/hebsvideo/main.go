@@ -7,7 +7,7 @@
 // Usage:
 //
 //	hebsvideo [-clip pan|fade|cut|mixed] [-frames N] [-budget PCT]
-//	          [-maxstep F] [-cutdetect] [-size N]
+//	          [-maxstep F] [-cutdetect] [-size N] [-delta] [-tile-size N]
 package main
 
 import (
@@ -45,6 +45,8 @@ func run(args []string, out io.Writer) (err error) {
 	maxStep := fs.Float64("maxstep", 0.04, "maximum per-frame dimming step (0 disables smoothing)")
 	cutDetect := fs.Bool("cutdetect", true, "use histogram scene-cut detection for snapping")
 	reuse := fs.Float64("reuse", 0, "static-scene reuse threshold in EMD levels (0 disables)")
+	delta := fs.Bool("delta", false, "incremental tiled histogram analysis with the fused static-frame fast path")
+	tileSize := fs.Int("tile-size", 0, "delta-analysis tile edge in pixels (0 = default 64)")
 	size := fs.Int("size", 96, "frame edge length")
 	workers := fs.Int("workers", 1, "worker goroutines for the pipelined scheduler (0 = all CPUs, 1 = serial)")
 	timeline := fs.Bool("timeline", false, "print the per-frame span timeline (stage durations)")
@@ -81,9 +83,14 @@ func run(args []string, out io.Writer) (err error) {
 	if pw == 0 {
 		pw = -1
 	}
+	if *tileSize < 0 {
+		return fmt.Errorf("negative -tile-size %d", *tileSize)
+	}
 	pol := video.Policy{
 		MaxStep:        *maxStep,
 		ReuseThreshold: *reuse,
+		DeltaAnalysis:  *delta,
+		TileSize:       *tileSize,
 		Workers:        pw,
 		Options:        core.Options{MaxDistortionPercent: *budget, ExactSearch: true},
 	}

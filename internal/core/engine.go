@@ -693,7 +693,100 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 		return nil, err
 	}
 	defer e.putHist(h)
+	return e.processPlanned(ctx, sp, img, h, r, predicted, segments, sub, opts, false)
+}
 
+// AnalyzeApply is the fused fast path of the video scheduler: the full
+// Plan/Apply/measure pipeline run from a caller-supplied histogram at
+// an already-resolved dynamic range, skipping the per-frame histogram
+// extraction pass (the scheduler's FrameDelta maintains h
+// incrementally) and applying Λ through the word-packed kernel in a
+// single traversal. Whenever h equals histogram.Of(img), the Result is
+// byte-identical to Process with opts.DynamicRange = r (the histogram
+// and the packed apply both carry exact-equality guarantees);
+// PredictedDistortion is 0, as in every direct-range run. h stays
+// caller-owned.
+func (e *Engine) AnalyzeApply(ctx context.Context, img *gray.Image, h *histogram.Histogram, r int, opts Options) (*Result, error) {
+	if img == nil {
+		return nil, errors.New("core: nil image")
+	}
+	if h == nil {
+		return nil, errors.New("core: AnalyzeApply with nil histogram")
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	segments := opts.Segments
+	if segments == 0 {
+		segments = driver.DefaultConfig.Sources
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+	}
+	sub := power.DefaultSubsystem
+	if opts.Subsystem != nil {
+		sub = *opts.Subsystem
+	}
+	parent := opts.Trace
+	if parent == nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+	sp := parent.Child("core.AnalyzeApply")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return e.processPlanned(ctx, sp, img, h, r, 0, segments, sub, opts, true)
+}
+
+// FusedApply is the scheduler's steady-state path for a frame whose
+// measurements are memoized: Plan from the (incrementally maintained)
+// histogram — an LRU hit in steady state — then the single word-packed
+// Λ traversal into a pooled frame. No distortion or power measurement
+// runs; the caller reuses the previous identical frame's numbers.
+// Return the frame with ReleaseImage; planCached reports whether the
+// plan came from the LRU.
+func (e *Engine) FusedApply(ctx context.Context, img *gray.Image, h *histogram.Histogram, r int, opts Options) (out *gray.Image, planCached bool, err error) {
+	if img == nil {
+		return nil, false, errors.New("core: nil image")
+	}
+	if h == nil {
+		return nil, false, errors.New("core: FusedApply with nil histogram")
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, false, err
+	}
+	parent := opts.Trace
+	if parent == nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+	sp := parent.Child("core.FusedApply")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	plan, planCached, err := e.planFor(ctx, sp, h, r, opts.Segments,
+		opts.Driver, opts.Equalizer, opts.ClipFactor)
+	if err != nil {
+		return nil, false, err
+	}
+	_, applyDone := stage(sp, stageApply)
+	out = e.getGray(img.W, img.H)
+	err = plan.Lambda.ApplyIntoPacked(img, out)
+	applyDone.end(err)
+	if err != nil {
+		e.putGray(out)
+		return nil, false, err
+	}
+	return out, planCached, nil
+}
+
+// processPlanned is the shared tail of Process and AnalyzeApply: Plan
+// (LRU-served), Apply (sharded or packed), then the distortion/power
+// measurements and run metrics. h must describe img exactly.
+func (e *Engine) processPlanned(ctx context.Context, sp *obs.Span, img *gray.Image, h *histogram.Histogram, r int, predicted float64, segments int, sub power.Subsystem, opts Options, packed bool) (*Result, error) {
 	// Steps 2+3: histogram -> Φ -> Λ (+ the PLRD program) — the Plan
 	// stage, the part the LCD controller computes from its histogram
 	// estimator alone.
@@ -709,7 +802,11 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 	}
 	_, applyDone := stage(sp, stageApply)
 	transformed := e.getGray(img.W, img.H)
-	err = plan.Lambda.ApplyIntoShards(img, transformed, e.workers)
+	if packed {
+		err = plan.Lambda.ApplyIntoPacked(img, transformed)
+	} else {
+		err = plan.Lambda.ApplyIntoShards(img, transformed, e.workers)
+	}
 	applyDone.end(err)
 	if err != nil {
 		e.putGray(transformed)

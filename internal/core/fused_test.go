@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hebs/internal/driver"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+)
+
+// TestAnalyzeApplyMatchesProcess: with h = histogram.Of(img),
+// AnalyzeApply at range r must be byte-identical to Process with
+// opts.DynamicRange = r — same transformed pixels, same Λ, same
+// float64 bits on every measurement. This is the equality the video
+// scheduler's delta path rests on.
+func TestAnalyzeApplyMatchesProcess(t *testing.T) {
+	cfg := driver.DefaultConfig
+	cases := []struct {
+		name string
+		r    int
+		opts Options
+	}{
+		{"plain", 150, Options{}},
+		{"with_driver", 120, Options{Driver: &cfg}},
+		{"clipped", 140, Options{Equalizer: EqualizerClipped}},
+		{"narrow", 64, Options{}},
+	}
+	eng := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			img := testImg(t, "lena")
+			h := histogram.Of(img)
+			procOpts := tc.opts
+			procOpts.DynamicRange = tc.r
+			want, err := eng.Process(ctx, img, procOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer want.Release()
+			got, err := eng.AnalyzeApply(ctx, img, h, tc.r, procOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer got.Release()
+			if !got.Transformed.Equal(want.Transformed) {
+				t.Fatal("transformed image differs from Process")
+			}
+			if *got.Lambda != *want.Lambda {
+				t.Fatal("Λ differs from Process")
+			}
+			if got.Range != want.Range || got.Beta != want.Beta {
+				t.Fatalf("operating point (%d, %v) != Process (%d, %v)",
+					got.Range, got.Beta, want.Range, want.Beta)
+			}
+			for _, q := range [][2]float64{
+				{got.AchievedDistortion, want.AchievedDistortion},
+				{got.PredictedDistortion, want.PredictedDistortion},
+				{got.PowerBefore, want.PowerBefore},
+				{got.PowerAfter, want.PowerAfter},
+				{got.PowerSavingPercent, want.PowerSavingPercent},
+				{got.PLCError, want.PLCError},
+				{got.RealizationError, want.RealizationError},
+			} {
+				if math.Float64bits(q[0]) != math.Float64bits(q[1]) {
+					t.Fatalf("metric %v != Process %v", q[0], q[1])
+				}
+			}
+		})
+	}
+	if inUse := eng.PoolStats().InUse(); inUse != 0 {
+		t.Fatalf("pool leak: %d buffers still in use after releases", inUse)
+	}
+}
+
+// TestFusedApplyMatchesTransformed: FusedApply must produce exactly the
+// Transformed frame Process produces at the same range, and its plan
+// must come from the LRU once warmed.
+func TestFusedApplyMatchesTransformed(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	img := testImg(t, "elaine")
+	h := histogram.Of(img)
+	const r = 130
+	want, err := eng.Process(ctx, img, Options{DynamicRange: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		out, cached, err := eng.FusedApply(ctx, img, h, r, Options{DynamicRange: r})
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !out.Equal(want.Transformed) {
+			t.Fatalf("run %d: fused output differs from Process.Transformed", run)
+		}
+		if !cached {
+			// Process already planned at (h, r), so even the first fused
+			// call must hit the LRU.
+			t.Fatalf("run %d: plan not served from the LRU", run)
+		}
+		eng.ReleaseImage(out)
+	}
+	want.Release()
+	if inUse := eng.PoolStats().InUse(); inUse != 0 {
+		t.Fatalf("pool leak: %d buffers still in use after releases", inUse)
+	}
+}
+
+// TestFusedValidation pins the fused-path validation surface.
+func TestFusedValidation(t *testing.T) {
+	eng := NewEngine(EngineOptions{})
+	ctx := context.Background()
+	img := testImg(t, "lena")
+	h := histogram.Of(img)
+	if _, err := eng.AnalyzeApply(ctx, nil, h, 128, Options{}); err == nil {
+		t.Error("AnalyzeApply accepted nil image")
+	}
+	if _, err := eng.AnalyzeApply(ctx, img, nil, 128, Options{}); err == nil {
+		t.Error("AnalyzeApply accepted nil histogram")
+	}
+	if _, _, err := eng.FusedApply(ctx, nil, h, 128, Options{}); err == nil {
+		t.Error("FusedApply accepted nil image")
+	}
+	if _, _, err := eng.FusedApply(ctx, img, nil, 128, Options{}); err == nil {
+		t.Error("FusedApply accepted nil histogram")
+	}
+	if _, _, err := eng.FusedApply(ctx, gray.New(8, 8), histogram.Of(gray.New(8, 8)), 0, Options{}); err == nil {
+		t.Error("FusedApply accepted range 0")
+	}
+}

@@ -22,11 +22,17 @@ import (
 	"hebs/internal/transform"
 )
 
-// minSearchPixels gates the speculative search: below it a frame's
-// per-candidate work (remap + metric) is too small to amortize the
-// fan-out, and video frames that size are already parallelized across
-// frames by the scheduler.
-const minSearchPixels = 1 << 15
+// minSearchPixels gates the speculative search the same way the
+// sharded kernels gate on a per-shard work floor: below it the search
+// falls back to serial bisection. The floor is deliberately higher
+// than the kernels' 32K-pixel gate because speculation is not free
+// parallelism — each descent evaluates up to 2^depth−1 candidates but
+// consumes only `depth`, so the fan-out must overlap on real cores
+// AND the per-candidate remap+metric must dominate the wasted probes.
+// At 256×256 (64K pixels) the measured workers=4 run was ~30% slower
+// than serial (BENCH_pipeline.json); 128K pixels is the first size
+// where the speculative frontier pays for itself.
+const minSearchPixels = 1 << 17
 
 // specDepth returns how many bisection levels to speculate: the
 // largest d with 2^d − 1 <= workers, capped at 8 (the search space is

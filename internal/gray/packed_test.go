@@ -1,0 +1,53 @@
+package gray
+
+import "testing"
+
+// TestApplyLUTPackedMatchesScalar: the packed kernel must be
+// byte-identical to the scalar loop at every length, in particular
+// lengths not divisible by 8 (the scalar tail) and shorter than one
+// word. The fused video fast path depends on this equality.
+func TestApplyLUTPackedMatchesScalar(t *testing.T) {
+	var lut [256]uint8
+	for i := range lut {
+		lut[i] = uint8((i*167 + 13) % 256)
+	}
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 63, 64, 100, 255, 4096, 4097} {
+		src := make([]uint8, n)
+		for i := range src {
+			src[i] = uint8(i*31 + 7)
+		}
+		want := make([]uint8, n)
+		for i := range src {
+			want[i] = lut[src[i]]
+		}
+		got := make([]uint8, n)
+		ApplyLUTPacked(got, src, &lut)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: byte %d: packed %d, scalar %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestApplyLUTPackedInPlace: dst aliasing src is documented as safe.
+func TestApplyLUTPackedInPlace(t *testing.T) {
+	var lut [256]uint8
+	for i := range lut {
+		lut[i] = uint8(255 - i)
+	}
+	buf := make([]uint8, 29)
+	for i := range buf {
+		buf[i] = uint8(i * 9)
+	}
+	want := make([]uint8, len(buf))
+	for i, p := range buf {
+		want[i] = lut[p]
+	}
+	ApplyLUTPacked(buf, buf, &lut)
+	for i := range buf {
+		if buf[i] != want[i] {
+			t.Fatalf("in-place byte %d: got %d want %d", i, buf[i], want[i])
+		}
+	}
+}

@@ -33,6 +33,13 @@ type FrameRecord struct {
 	RangeReused bool `json:"range_reused,omitempty"`
 	CutSnap     bool `json:"cut_snap,omitempty"`
 	SlewLimited bool `json:"slew_limited,omitempty"`
+	// FusedApply reports the delta fast path: the frame's histogram was
+	// maintained incrementally, its measurements were memoized from the
+	// previous identical frame, and Λ ran as one packed traversal.
+	FusedApply bool `json:"fused_apply,omitempty"`
+	// TileChangeRatio is changed/total tiles of the delta analysis for
+	// this frame (0 when delta analysis is off or nothing changed).
+	TileChangeRatio float64 `json:"tile_change_ratio,omitempty"`
 	// Workers is the scheduler's resolved worker bound (1 = serial).
 	Workers int `json:"workers"`
 	// Seconds is the frame's Apply+measure wall time — the same

@@ -1,0 +1,28 @@
+// Packed LUT application: the word-packed counterpart of ApplyInto,
+// used by the engine's fused Analyze+Apply fast path where the LUT
+// remap is the frame's only full-pixel traversal. Defined to be
+// byte-identical to ApplyInto on every input (the per-byte table
+// lookup is unchanged; only the load/store width differs).
+package transform
+
+import (
+	"errors"
+	"fmt"
+
+	"hebs/internal/gray"
+)
+
+// ApplyIntoPacked transforms every pixel of src through the LUT into
+// dst eight pixels per memory transaction. Byte-identical to ApplyInto
+// for every input.
+func (l *LUT) ApplyIntoPacked(src, dst *gray.Image) error {
+	if src == nil || dst == nil {
+		return errors.New("transform: ApplyInto with nil image")
+	}
+	if src.W != dst.W || src.H != dst.H {
+		return fmt.Errorf("transform: ApplyInto geometry mismatch %dx%d vs %dx%d",
+			src.W, src.H, dst.W, dst.H)
+	}
+	gray.ApplyLUTPacked(dst.Pix, src.Pix, (*[256]uint8)(l))
+	return nil
+}

@@ -1,0 +1,50 @@
+package transform
+
+import (
+	"testing"
+
+	"hebs/internal/gray"
+)
+
+// TestApplyIntoPackedMatchesScalar: ApplyIntoPacked must be
+// byte-identical to ApplyInto on every geometry, including widths not
+// divisible by 8 where the packed kernel's scalar tail runs every row.
+func TestApplyIntoPackedMatchesScalar(t *testing.T) {
+	var lut LUT
+	for i := range lut {
+		lut[i] = uint8((i * 201) % Levels)
+	}
+	for _, g := range []struct{ w, h int }{{8, 8}, {13, 7}, {1, 1}, {17, 3}, {64, 48}, {100, 33}} {
+		src := gray.New(g.w, g.h)
+		for i := range src.Pix {
+			src.Pix[i] = uint8(i*53 + 11)
+		}
+		want := gray.New(g.w, g.h)
+		if err := lut.ApplyInto(src, want); err != nil {
+			t.Fatal(err)
+		}
+		got := gray.New(g.w, g.h)
+		if err := lut.ApplyIntoPacked(src, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("%dx%d: pixel %d: packed %d, scalar %d", g.w, g.h, i, got.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+// TestApplyIntoPackedErrors mirrors ApplyInto's validation surface.
+func TestApplyIntoPackedErrors(t *testing.T) {
+	var lut LUT
+	if err := lut.ApplyIntoPacked(nil, gray.New(4, 4)); err == nil {
+		t.Error("nil src accepted")
+	}
+	if err := lut.ApplyIntoPacked(gray.New(4, 4), nil); err == nil {
+		t.Error("nil dst accepted")
+	}
+	if err := lut.ApplyIntoPacked(gray.New(4, 4), gray.New(4, 5)); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

@@ -99,3 +99,49 @@ func BenchmarkLegacyVideoSteadyState(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineVideoDeltaSteadyState is BenchmarkEngineVideoSteadyState
+// with incremental delta analysis: after the warm-up clip the pooled
+// deltaState's reference matches every frame (the clip is static), so
+// per-frame work collapses to the tile re-hash plus one word-packed LUT
+// traversal. The ns/op ratio against BenchmarkEngineVideoSteadyState is
+// the fused fast path's speedup on static content.
+func BenchmarkEngineVideoDeltaSteadyState(b *testing.B) {
+	seq := steadyClip(b)
+	pol := steadyPolicy()
+	pol.DeltaAnalysis = true
+	pol.Engine = core.NewEngine(core.EngineOptions{})
+	ctx := context.Background()
+	if _, err := ProcessContext(ctx, seq, pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProcessContext(ctx, seq, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineVideoDeltaSteadyStateParallel adds the pipelined
+// scheduler on top of delta analysis: phase A0's sharded tile re-hash
+// plus the two-wave fused apply.
+func BenchmarkEngineVideoDeltaSteadyStateParallel(b *testing.B) {
+	seq := steadyClip(b)
+	pol := steadyPolicy()
+	pol.DeltaAnalysis = true
+	pol.Workers = -1
+	pol.Engine = core.NewEngine(core.EngineOptions{})
+	ctx := context.Background()
+	if _, err := ProcessContext(ctx, seq, pol); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProcessContext(ctx, seq, pol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

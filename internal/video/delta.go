@@ -1,0 +1,118 @@
+// Pooled incremental-analysis state for the schedulers. A deltaState
+// bundles the tile checksum/histogram reference (histogram.FrameDelta)
+// with the two memoizations the fused fast path replays when a frame's
+// pixels are unchanged:
+//
+//   - ownRange: the frame's own admissible range — skipping the exact
+//     range search, the most expensive per-frame stage.
+//   - meas: the applied-range measurement record (β, distortion, power
+//     saving) — skipping the distortion/power traversals.
+//
+// Both replays are exact: range search and measurement are pure
+// functions of (pixels, options), the checksums certify the pixels,
+// and the options are fingerprinted below. Tile state itself is a pure
+// function of pixels and carries across clips unconditionally; the
+// memoizations are dropped whenever the fingerprint moves (or an
+// uncomparable option like a custom Metric func is in play).
+package video
+
+import (
+	"sync"
+
+	"hebs/internal/chart"
+	"hebs/internal/core"
+	"hebs/internal/driver"
+	"hebs/internal/histogram"
+	"hebs/internal/power"
+)
+
+// deltaMeas is one frame's applied-range measurement record.
+type deltaMeas struct {
+	rng                      int
+	beta, distortion, saving float64
+	valid                    bool
+}
+
+// deltaOptKey fingerprints the core.Options fields that influence
+// per-frame range selection and measurement. Trace is excluded (pure
+// observability); Metric cannot be compared (func type), so a non-nil
+// Metric invalidates cross-clip memoization instead.
+type deltaOptKey struct {
+	maxDist    float64
+	dynRange   int
+	exact      bool
+	worstCase  bool
+	curve      *chart.Curve
+	segments   int
+	clipFactor float64
+	eq         core.Equalizer
+	drv        *driver.Config
+	sub        *power.Subsystem
+}
+
+// deltaKeyFor builds the fingerprint; comparable reports whether the
+// options admit cross-clip memoization at all.
+func deltaKeyFor(opts core.Options) (key deltaOptKey, comparable bool) {
+	return deltaOptKey{
+		maxDist:    opts.MaxDistortionPercent,
+		dynRange:   opts.DynamicRange,
+		exact:      opts.ExactSearch,
+		worstCase:  opts.WorstCase,
+		curve:      opts.Curve,
+		segments:   opts.Segments,
+		clipFactor: opts.ClipFactor,
+		eq:         opts.Equalizer,
+		drv:        opts.Driver,
+		sub:        opts.Subsystem,
+	}, opts.Metric == nil
+}
+
+// deltaState is the pooled per-walk incremental-analysis state.
+type deltaState struct {
+	delta    *histogram.FrameDelta
+	ownRange int
+	ownValid bool
+	meas     deltaMeas
+	key      deltaOptKey
+	keyOK    bool
+}
+
+var deltaStatePool = sync.Pool{New: func() any { return new(deltaState) }}
+
+// acquireDelta draws pooled state shaped for w×h frames at tileSize
+// (0 = histogram.DefaultTileSize). Tile state survives pool round
+// trips whenever the geometry matches — a clip starting where the
+// previous one left off re-bins nothing. The range/measurement
+// memoizations additionally require an identical options fingerprint.
+func acquireDelta(w, h, tileSize int, opts core.Options) (*deltaState, error) {
+	ds := deltaStatePool.Get().(*deltaState)
+	if ds.delta == nil {
+		var err error
+		ds.delta, err = histogram.NewFrameDelta(w, h, tileSize)
+		if err != nil {
+			deltaStatePool.Put(ds)
+			return nil, err
+		}
+	} else if !ds.delta.Matches(w, h, tileSize) {
+		if err := ds.delta.Configure(w, h, tileSize); err != nil {
+			deltaStatePool.Put(ds)
+			return nil, err
+		}
+		ds.ownValid = false
+		ds.meas = deltaMeas{}
+	}
+	key, comparable := deltaKeyFor(opts)
+	if !comparable || !ds.keyOK || key != ds.key {
+		ds.ownValid = false
+		ds.meas = deltaMeas{}
+	}
+	ds.key, ds.keyOK = key, comparable
+	return ds, nil
+}
+
+// releaseDelta returns the state to the pool.
+func releaseDelta(ds *deltaState) {
+	if ds != nil {
+		deltaStatePool.Put(ds)
+	}
+}

@@ -18,6 +18,12 @@ var (
 	mCutSnaps    = obs.NewCounter("video.cut_snaps_total")
 	mCutsFound   = obs.NewCounter("video.cuts_detected_total")
 
+	// Delta-analysis behaviour: tiles actually re-binned (the
+	// incremental analysis cost) and frames served by the fused
+	// memoized fast path (plan LRU hit + packed apply, no measurement).
+	mTilesRebinned = obs.NewCounter("video.delta.tiles_rebinned_total")
+	mFastPath      = obs.NewCounter("video.delta.frames_fastpath_total")
+
 	mFrameLatency = obs.NewHistogram("video.frame.seconds", obs.LatencyBuckets())
 
 	// Frames currently inside the Apply/measure stage — under the

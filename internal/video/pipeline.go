@@ -63,8 +63,20 @@ type frameState struct {
 	applyRange int     // range the frame is actually transformed at
 	slew       bool
 	cut        bool
-	fr         FrameResult
-	done       bool
+	// Delta-analysis state (DeltaAnalysis only): identical marks a frame
+	// whose pixels are checksum-equal to its predecessor's (the pooled
+	// reference for frame 0), replay marks one that resolves its range
+	// from the own-range memo instead of searching, tileRatio is
+	// changed/total tiles, and fused frames copy their measurements from
+	// copySrc (a frame index, or -2 for the pooled cross-clip record)
+	// instead of measuring.
+	identical bool
+	replay    bool
+	tileRatio float64
+	fused     bool
+	copySrc   int
+	fr        FrameResult
+	done      bool
 }
 
 // minHistFanoutPixels is the per-frame work floor for fanning out the
@@ -120,6 +132,39 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 	defer statePool.Put(stp)
 	st := *stp
 
+	// Phase A0 — incremental analysis (DeltaAnalysis only). The tile
+	// fold is a serial chain (each frame diffs against its predecessor)
+	// but UpdateShards fans out across tiles within a frame, and the
+	// fold replaces the per-frame full histogram scans below.
+	var ds *deltaState
+	var dsOwnRange int
+	var dsOwnValid bool
+	var dsMeas deltaMeas
+	if pol.DeltaAnalysis {
+		d, err := acquireDelta(seq.Frames[0].W, seq.Frames[0].H, pol.TileSize, pol.Options)
+		if err != nil {
+			return nil, err
+		}
+		ds = d
+		defer releaseDelta(ds)
+		// Capture the pooled memoizations and invalidate them until the
+		// clip completes cleanly: after the fold below the tile reference
+		// tracks the LAST frame, so a partial run must not leave stale
+		// range/measurement records paired with it.
+		dsOwnRange, dsOwnValid, dsMeas = ds.ownRange, ds.ownValid, ds.meas
+		ds.ownValid = false
+		ds.meas.valid = false
+		for i := range st {
+			changed, total, err := ds.delta.UpdateShards(seq.Frames[i], &st[i].hist, workers)
+			if err != nil {
+				return nil, err
+			}
+			mTilesRebinned.Add(int64(changed))
+			st[i].tileRatio = float64(changed) / float64(total)
+			st[i].identical = changed == 0
+		}
+	}
+
 	// Phase A+B — reuse decisions. Frame histograms are independent
 	// (fan out); the estimator fold is stream-ordered (serial). The
 	// serial walk's reuse condition `est.Ready() && prevRange > 0`
@@ -132,16 +177,19 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 		}
 		// Small frames scan in microseconds; below the work floor the
 		// fan-out costs more than it saves, and ForEach with one worker
-		// runs inline (no goroutines, no allocations).
-		hw := workers
-		if len(seq.Frames[0].Pix) < minHistFanoutPixels {
-			hw = 1
-		}
-		if err := parallel.ForEach(ctx, n, hw, func(i int) error {
-			histogram.OfInto(seq.Frames[i], &st[i].hist)
-			return nil
-		}); err != nil {
-			return finish(err) // only ctx errors escape this phase
+		// runs inline (no goroutines, no allocations). With delta
+		// analysis on, the fold above already filled every histogram.
+		if ds == nil {
+			hw := workers
+			if len(seq.Frames[0].Pix) < minHistFanoutPixels {
+				hw = 1
+			}
+			if err := parallel.ForEach(ctx, n, hw, func(i int) error {
+				histogram.OfInto(seq.Frames[i], &st[i].hist)
+				return nil
+			}); err != nil {
+				return finish(err) // only ctx errors escape this phase
+			}
 		}
 		for i := range st {
 			if est.Ready() {
@@ -163,9 +211,33 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 	// cache back the exact search). The job list is compacted to the
 	// searching frames so a steady-state clip (one search, the rest
 	// reused) runs inline with no pool spawn at all.
+	// Replay chain (DeltaAnalysis only): the own-range memo is valid for
+	// a frame exactly when its pixels are certified identical to the
+	// pixels the memo's search ran on — i.e. every frame since the last
+	// searched frame (or the pooled reference) was identical, with the
+	// chain broken by a non-identical reused frame (its own search never
+	// runs, so the memo goes stale). Replay frames skip phase C; the
+	// memo value itself is threaded through phase D.
+	ownOK := dsOwnValid
+	if ds != nil {
+		for i := range st {
+			st[i].replay = st[i].identical && !st[i].reuse && ownOK
+			switch {
+			case st[i].reuse:
+				if !st[i].identical {
+					ownOK = false
+				}
+			case st[i].replay:
+				// Memo replayed; still anchored to these pixels.
+			default:
+				// This frame searches in phase C, re-anchoring the memo.
+				ownOK = true
+			}
+		}
+	}
 	search := make([]int, 0, n)
 	for i := range st {
-		if !st[i].reuse {
+		if !st[i].reuse && !st[i].replay {
 			search = append(search, i)
 		}
 	}
@@ -191,9 +263,21 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 	// the applied β must sit on the driver's range grid.
 	prevBeta := math.NaN()
 	tr := 0
+	// Delta bookkeeping (DeltaAnalysis only): ownRng is the threaded
+	// own-range memo the replay frames resolve to; head is the most
+	// recent frame of the current pixel-identity run that measures fully
+	// (-1: none yet); poolChain holds while the identity run extends
+	// back to the pooled cross-clip reference frame.
+	ownRng := dsOwnRange
+	head := -1
+	poolChain := true
 	for i := 0; i < n; i++ {
-		if !st[i].reuse {
+		switch {
+		case st[i].replay:
+			tr = ownRng
+		case !st[i].reuse:
 			tr = st[i].rng
+			ownRng = st[i].rng // fresh search re-anchors the memo
 		}
 		target, err := power.BetaForRange(tr, transform.Levels)
 		if err != nil {
@@ -226,6 +310,29 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 				return nil, fmt.Errorf("video: frame %d: %w", i, err)
 			}
 		}
+		// Fusion eligibility: a frame may copy its measurements from the
+		// measuring head of its pixel-identity run (or from the pooled
+		// cross-clip record while the run reaches back to the reference
+		// frame) when the applied range matches — identical pixels at an
+		// identical operating point measure identically.
+		if ds != nil {
+			if !st[i].identical {
+				head = -1
+				poolChain = false
+			}
+			if st[i].identical {
+				if head >= 0 && st[head].applyRange == st[i].applyRange {
+					st[i].fused = true
+					st[i].copySrc = head
+				} else if head < 0 && poolChain && dsMeas.valid && dsMeas.rng == st[i].applyRange {
+					st[i].fused = true
+					st[i].copySrc = -2
+				}
+			}
+			if !st[i].fused {
+				head = i
+			}
+		}
 		// Metric parity with the serial walk's per-frame counters.
 		if st[i].reuse {
 			mRangeReuse.Inc()
@@ -251,7 +358,7 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 	// Results land in per-frame slots; a cancellation keeps the
 	// contiguous completed prefix, matching the serial walk's partial
 	// timeline.
-	applyErr := parallel.ForEach(ctx, n, workers, func(i int) error {
+	applyFrame := func(i int) error {
 		start := time.Now()
 		fsp := sp.Child("video.frame")
 		defer fsp.End()
@@ -269,58 +376,120 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 		if st[i].slew {
 			fsp.SetBool("slew_limited", true)
 		}
+		if ds != nil {
+			fsp.SetFloat("tile_change_ratio", st[i].tileRatio)
+		}
 		opts := pol.Options
 		opts.Trace = fsp
 		opts.DynamicRange = st[i].applyRange
 		opts.MaxDistortionPercent = 0
 		opts.ExactSearch = false
-		r, err := eng.Process(ctx, seq.Frames[i], opts)
-		if err != nil {
-			if st[i].slew {
-				return fmt.Errorf("video: frame %d (smoothed): %w", i, err)
+		fr := FrameResult{TargetBeta: st[i].target}
+		var planCached bool
+		if st[i].fused {
+			// Fused fast path: cached plan, one packed Λ traversal, and
+			// the measurements copied from the identity run's head (which
+			// the first apply wave already completed) or the pooled
+			// cross-clip record.
+			out, cached, err := eng.FusedApply(ctx, seq.Frames[i], &st[i].hist, st[i].applyRange, opts)
+			if err != nil {
+				return fmt.Errorf("video: frame %d: %w", i, err)
 			}
-			return fmt.Errorf("video: frame %d: %w", i, err)
+			eng.ReleaseImage(out)
+			planCached = cached
+			fsp.SetBool("fused_apply", true)
+			mFastPath.Inc()
+			src := dsMeas
+			if st[i].copySrc >= 0 {
+				f := st[st[i].copySrc].fr
+				src = deltaMeas{rng: f.Range, beta: f.Beta,
+					distortion: f.Distortion, saving: f.SavingPercent}
+			}
+			fr.Beta = src.beta
+			fr.Range = src.rng
+			fr.Distortion = src.distortion
+			fr.SavingPercent = src.saving
+		} else {
+			var r *core.Result
+			var err error
+			if ds != nil {
+				// The delta fold already holds this frame's histogram;
+				// skip the engine's per-frame extraction pass.
+				r, err = eng.AnalyzeApply(ctx, seq.Frames[i], &st[i].hist, st[i].applyRange, opts)
+			} else {
+				r, err = eng.Process(ctx, seq.Frames[i], opts)
+			}
+			if err != nil {
+				if st[i].slew {
+					return fmt.Errorf("video: frame %d (smoothed): %w", i, err)
+				}
+				return fmt.Errorf("video: frame %d: %w", i, err)
+			}
+			fr.Beta = r.Beta
+			fr.Range = r.Range
+			fr.Distortion = r.AchievedDistortion
+			planCached = r.PlanCached
+			saving, err := sub.SavingPercent(seq.Frames[i], r.Transformed, r.Beta)
+			r.Release()
+			if err != nil {
+				return err
+			}
+			fr.SavingPercent = saving
 		}
-		fr := FrameResult{
-			TargetBeta: st[i].target,
-			Beta:       r.Beta,
-			Range:      r.Range,
-			Distortion: r.AchievedDistortion,
-		}
-		planCached := r.PlanCached
-		saving, err := sub.SavingPercent(seq.Frames[i], r.Transformed, r.Beta)
-		r.Release()
-		if err != nil {
-			return err
-		}
-		fr.SavingPercent = saving
 		fsp.SetFloat("target_beta", fr.TargetBeta)
 		fsp.SetFloat("applied_beta", fr.Beta)
 		fsp.SetInt("range", fr.Range)
 		fsp.SetFloat("saving_pct", fr.SavingPercent)
 		if rec := obs.Flight(); rec != nil {
 			var hh uint64
-			if pol.ReuseThreshold > 0 {
+			if pol.ReuseThreshold > 0 || ds != nil {
 				hh = flightHistHash(&st[i].hist) // phase A filled it
 			}
 			rec.Record(obs.FrameRecord{
-				Frame:       pol.frameOffset + i,
-				TargetBeta:  fr.TargetBeta,
-				Beta:        fr.Beta,
-				Range:       fr.Range,
-				HistHash:    hh,
-				PlanCached:  planCached,
-				RangeReused: st[i].reuse,
-				CutSnap:     st[i].cut,
-				SlewLimited: st[i].slew,
-				Workers:     workers,
-				Seconds:     time.Since(start).Seconds(),
+				Frame:           pol.frameOffset + i,
+				TargetBeta:      fr.TargetBeta,
+				Beta:            fr.Beta,
+				Range:           fr.Range,
+				HistHash:        hh,
+				PlanCached:      planCached,
+				RangeReused:     st[i].reuse,
+				CutSnap:         st[i].cut,
+				SlewLimited:     st[i].slew,
+				FusedApply:      st[i].fused,
+				TileChangeRatio: st[i].tileRatio,
+				Workers:         workers,
+				Seconds:         time.Since(start).Seconds(),
 			})
 		}
 		st[i].fr = fr
 		st[i].done = true
 		return nil
-	})
+	}
+	var applyErr error
+	if ds == nil {
+		applyErr = parallel.ForEach(ctx, n, workers, applyFrame)
+	} else {
+		// Fused frames copy measurements from their identity run's head,
+		// so the full-measure wave must land first; both waves fan out
+		// freely within themselves.
+		full := make([]int, 0, n)
+		fast := make([]int, 0, n)
+		for i := range st {
+			if st[i].fused {
+				fast = append(fast, i)
+			} else {
+				full = append(full, i)
+			}
+		}
+		applyErr = parallel.ForEach(ctx, len(full), workers, func(k int) error {
+			return applyFrame(full[k])
+		})
+		if applyErr == nil && len(fast) > 0 {
+			applyErr = parallel.ForEach(ctx, len(fast), workers, func(k int) error {
+				return applyFrame(fast[k])
+			})
+		}
+	}
 	if applyErr != nil {
 		if cerr := ctx.Err(); cerr != nil && errors.Is(applyErr, cerr) {
 			for i := 0; i < n && st[i].done; i++ {
@@ -333,6 +502,16 @@ func processPipelined(ctx context.Context, seq *Sequence, pol Policy, workers in
 	res.Frames = make([]FrameResult, n)
 	for i := range st {
 		res.Frames[i] = st[i].fr
+	}
+	if ds != nil {
+		// The clip completed cleanly: re-validate the pooled memoizations
+		// against the tile reference (now the last frame). ownRng/ownOK
+		// carry the threaded own-range memo; the measurement record is the
+		// last frame's applied-range numbers.
+		last := st[n-1].fr
+		ds.ownRange, ds.ownValid = ownRng, ownOK
+		ds.meas = deltaMeas{rng: last.Range, beta: last.Beta,
+			distortion: last.Distortion, saving: last.SavingPercent, valid: true}
 	}
 	return finish(nil)
 }

@@ -125,6 +125,18 @@ type Policy struct {
 	// frame's admissible range is reused instead of re-running the
 	// per-frame range search (the expensive step). 0 disables reuse.
 	ReuseThreshold float64
+	// DeltaAnalysis enables tiled incremental histogram analysis: each
+	// frame is diffed against the previous one via per-tile checksums,
+	// only changed tiles are re-binned (subtract-stale/add-fresh keeps
+	// the global histogram exactly equal to a from-scratch scan), and a
+	// frame whose pixels did not change at all is served by the fused
+	// fast path — cached plan, one word-packed Λ traversal, memoized
+	// distortion/power numbers. Outputs are byte-identical to a run
+	// with DeltaAnalysis off; see DESIGN.md "Incremental delta analysis".
+	DeltaAnalysis bool
+	// TileSize is the delta-analysis tile edge in pixels (0 selects
+	// histogram.DefaultTileSize). Ignored unless DeltaAnalysis is set.
+	TileSize int
 	// HEBS options applied per frame. DynamicRange/budget semantics as
 	// in core.Options.
 	Options core.Options
@@ -195,7 +207,7 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 	if seq == nil || len(seq.Frames) == 0 {
 		return nil, errors.New("video: empty sequence")
 	}
-	if pol.MaxStep < 0 || pol.CutThreshold < 0 || pol.ReuseThreshold < 0 {
+	if pol.MaxStep < 0 || pol.CutThreshold < 0 || pol.ReuseThreshold < 0 || pol.TileSize < 0 {
 		return nil, fmt.Errorf("video: negative policy parameters %+v", pol)
 	}
 	if len(seq.Frames) > 1 {
@@ -226,6 +238,25 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 		if err != nil {
 			return nil, err
 		}
+	}
+	var ds *deltaState
+	var dsOwnRange int
+	var dsOwnValid bool
+	var dsMeas deltaMeas
+	if pol.DeltaAnalysis {
+		d, err := acquireDelta(seq.Frames[0].W, seq.Frames[0].H, pol.TileSize, pol.Options)
+		if err != nil {
+			return nil, err
+		}
+		ds = d
+		defer releaseDelta(ds)
+		// Work on captured copies and invalidate the pooled memoizations
+		// until a frame completes cleanly: an error between the tile
+		// update and the measurement would otherwise leave stale range /
+		// measurement records paired with a newer pixel reference.
+		dsOwnRange, dsOwnValid, dsMeas = ds.ownRange, ds.ownValid, ds.meas
+		ds.ownValid = false
+		ds.meas.valid = false
 	}
 	processFrame := func(i int, frame *gray.Image) (FrameResult, error) {
 		start := time.Now()
@@ -357,13 +388,202 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 		fsp.SetFloat("saving_pct", fr.SavingPercent)
 		return fr, nil
 	}
+	// processFrameDelta is the incremental-analysis variant of the walk:
+	// the per-frame histogram is maintained by re-binning only changed
+	// tiles, an unchanged frame replays its memoized own-range decision
+	// instead of searching, and an unchanged frame at an unchanged
+	// operating point skips measurement entirely (fused fast path).
+	// Every decision replays a deterministic computation on certified
+	// identical pixels, so the FrameResults are byte-identical to
+	// processFrame's.
+	processFrameDelta := func(i int, frame *gray.Image) (FrameResult, error) {
+		start := time.Now()
+		fsp := sp.Child("video.frame")
+		defer fsp.End()
+		fsp.SetInt("frame", pol.frameOffset+i)
+		defer func() { mFrameLatency.ObserveDuration(time.Since(start)) }()
+		mFrames.Inc()
+		gInflight.Add(1)
+		defer gInflight.Add(-1)
+		changed, total, err := ds.delta.Update(frame, &frameHist)
+		if err != nil {
+			return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		mTilesRebinned.Add(int64(changed))
+		ratio := float64(changed) / float64(total)
+		fsp.SetFloat("tile_change_ratio", ratio)
+		// identical: this frame's pixels are certified equal to the
+		// previous frame's (the pooled reference frame for frame 0).
+		identical := changed == 0
+		reused := false
+		opts := pol.Options
+		opts.Trace = fsp
+		if est != nil {
+			if est.Ready() && prevRange > 0 {
+				d, err := est.Distance(&frameHist)
+				if err != nil {
+					return FrameResult{}, err
+				}
+				if d < pol.ReuseThreshold {
+					fsp.SetBool("range_reused", true)
+					reused = true
+					mRangeReuse.Inc()
+				}
+			}
+			if err := est.Observe(&frameHist); err != nil {
+				return FrameResult{}, err
+			}
+		}
+		// Resolve the frame's range exactly as the plain walk would:
+		// reuse inherits the previous range; otherwise the frame's own
+		// search runs — unless its pixels are certified identical to the
+		// memoized own-range decision's, which makes the search a
+		// deterministic replay (SelectRange covers the direct/curve/exact
+		// modes, so the replay covers them too).
+		var rng int
+		ownSearched := false
+		switch {
+		case reused:
+			rng = prevRange
+		case identical && dsOwnValid:
+			rng = dsOwnRange
+		default:
+			rng, _, err = eng.SelectRange(ctx, frame, opts)
+			if err != nil {
+				return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
+			}
+			ownSearched = true
+		}
+		prevRange = rng
+		target, err := power.BetaForRange(rng, transform.Levels)
+		if err != nil {
+			return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
+		}
+		applied := target
+		cutSnap := false
+		if !math.IsNaN(prevBeta) && pol.MaxStep > 0 {
+			delta := target - prevBeta
+			isCut := pol.CutThreshold > 0 && math.Abs(delta) > pol.CutThreshold
+			cutSnap = isCut
+			if delta < -pol.MaxStep && !isCut {
+				applied = prevBeta - pol.MaxStep
+			}
+			if isCut {
+				fsp.SetBool("cut_snap", true)
+				mCutSnaps.Inc()
+			}
+		}
+		applyRange := rng
+		slewed := false
+		//hebslint:allow floateq applied is assigned from target unless slew-limited
+		if applied != target {
+			fsp.SetBool("slew_limited", true)
+			slewed = true
+			mSlewLimited.Inc()
+			applyRange, err = power.RangeForBeta(applied, transform.Levels)
+			if err != nil {
+				return FrameResult{}, err
+			}
+		}
+		opts.DynamicRange = applyRange
+		opts.MaxDistortionPercent = 0
+		opts.ExactSearch = false
+		fr := FrameResult{TargetBeta: target}
+		var planCached bool
+		fused := false
+		if identical && dsMeas.valid && dsMeas.rng == applyRange {
+			// Identical pixels at an identical operating point: the
+			// distortion/power numbers replay from the previous frame, and
+			// the only remaining work is the packed Λ traversal.
+			out, cached, err := eng.FusedApply(ctx, frame, &frameHist, applyRange, opts)
+			if err != nil {
+				return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
+			}
+			eng.ReleaseImage(out)
+			planCached = cached
+			fused = true
+			fsp.SetBool("fused_apply", true)
+			mFastPath.Inc()
+			fr.Beta = dsMeas.beta
+			fr.Range = dsMeas.rng
+			fr.Distortion = dsMeas.distortion
+			fr.SavingPercent = dsMeas.saving
+		} else {
+			r, err := eng.AnalyzeApply(ctx, frame, &frameHist, applyRange, opts)
+			if err != nil {
+				if slewed {
+					return FrameResult{}, fmt.Errorf("video: frame %d (smoothed): %w", i, err)
+				}
+				return FrameResult{}, fmt.Errorf("video: frame %d: %w", i, err)
+			}
+			fr.Range = r.Range
+			fr.Beta = r.Beta
+			fr.Distortion = r.AchievedDistortion
+			planCached = r.PlanCached
+			saving, err := sub.SavingPercent(frame, r.Transformed, r.Beta)
+			r.Release()
+			if err != nil {
+				return FrameResult{}, err
+			}
+			fr.SavingPercent = saving
+			dsMeas = deltaMeas{rng: applyRange, beta: fr.Beta,
+				distortion: fr.Distortion, saving: fr.SavingPercent, valid: true}
+		}
+		// Maintain the own-range memo: a fresh search anchors it to this
+		// frame's pixels; an inherited range on changed pixels orphans it
+		// (the frame's own search never ran); identical pixels leave it
+		// as-is. Then re-validate the pooled records — the frame completed
+		// cleanly, so tile reference, range memo and measurement memo are
+		// mutually consistent again.
+		if ownSearched {
+			dsOwnRange, dsOwnValid = rng, true
+		} else if reused && !identical {
+			dsOwnValid = false
+		}
+		ds.ownRange, ds.ownValid = dsOwnRange, dsOwnValid
+		ds.meas = dsMeas
+		if rec := obs.Flight(); rec != nil {
+			rec.Record(obs.FrameRecord{
+				Frame:           pol.frameOffset + i,
+				TargetBeta:      fr.TargetBeta,
+				Beta:            fr.Beta,
+				Range:           fr.Range,
+				HistHash:        flightHistHash(&frameHist),
+				PlanCached:      planCached,
+				RangeReused:     reused,
+				CutSnap:         cutSnap,
+				SlewLimited:     slewed,
+				FusedApply:      fused,
+				TileChangeRatio: ratio,
+				Workers:         1,
+				Seconds:         time.Since(start).Seconds(),
+			})
+		}
+		if invariant.Enabled {
+			invariant.AssertBeta("video: target β", fr.TargetBeta)
+			invariant.AssertBeta("video: applied β", fr.Beta)
+			if pol.MaxStep > 0 && !math.IsNaN(prevBeta) && !cutSnap {
+				invariant.Assert(prevBeta-fr.Beta <= pol.MaxStep+1.0/float64(transform.Levels-1)+1e-9,
+					"video: dimming slew %v exceeds MaxStep %v", prevBeta-fr.Beta, pol.MaxStep)
+			}
+		}
+		fsp.SetFloat("target_beta", fr.TargetBeta)
+		fsp.SetFloat("applied_beta", fr.Beta)
+		fsp.SetInt("range", fr.Range)
+		fsp.SetFloat("saving_pct", fr.SavingPercent)
+		return fr, nil
+	}
+	frameFn := processFrame
+	if ds != nil {
+		frameFn = processFrameDelta
+	}
 	var clipErr error
 	for i, frame := range seq.Frames {
 		if err := ctx.Err(); err != nil {
 			clipErr = err
 			break
 		}
-		fr, err := processFrame(i, frame)
+		fr, err := frameFn(i, frame)
 		if err != nil {
 			if cerr := ctx.Err(); cerr != nil && errors.Is(err, cerr) {
 				// Cancellation surfaced mid-frame: keep the completed
