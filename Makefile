@@ -3,7 +3,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke (native Go fuzzing).
 FUZZTIME ?= 5s
 
-.PHONY: all build verify check lint fuzz-smoke bench bench-guard \
+.PHONY: all build verify check lint vet-noalloc fuzz-smoke bench bench-guard \
 	bench-baseline bench-compare bench-smoke telemetry-smoke clean
 
 all: build
@@ -16,7 +16,8 @@ verify:
 	$(GO) build ./... && $(GO) test ./...
 
 # Full hygiene pass: formatting, vet, race-enabled tests, the
-# paper-invariant assertion build (hebscheck), and the project linters.
+# paper-invariant assertion build (hebscheck), the project linters,
+# and the zero-allocation escape-analysis gate.
 check:
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
@@ -24,11 +25,19 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -tags hebscheck ./...
 	$(MAKE) lint
+	$(MAKE) vet-noalloc
 
-# hebslint: the project's own static analyzers (spanend, floateq,
-# errdrop, metricname) over the whole module.
+# hebslint: the project's own static analyzers (atomicmix, errdrop,
+# floateq, lockspan, metricname, poolpair, spanend) over the whole
+# module.
 lint:
 	$(GO) run ./cmd/hebslint -C .
+
+# hebsvet: proves every //hebs:noalloc-annotated hot-path function
+# allocation-free by parsing the compiler's escape analysis; any
+# unexcused escape fails with file:line provenance.
+vet-noalloc:
+	$(GO) run ./cmd/hebsvet -C .
 
 # Bounded native-fuzzing pass over every fuzz target, with the
 # invariant assertions compiled in so violations fail loudly. Seed
@@ -77,10 +86,13 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 # Asserts disabled telemetry stays within noise: the nil-sink span
-# guard and the flight/SLO-window guard in internal/obs, plus the
-# traced-vs-direct pipeline benchmark pair.
+# guard and the flight/SLO-window guard in internal/obs, the
+# steady-state allocs/op budget guard in internal/video (failures
+# print the //hebs:noalloc inventory naming the suspect functions),
+# plus the traced-vs-direct pipeline benchmark pair.
 bench-guard:
 	$(GO) test -run 'TestNilSinkOverheadGuard|TestDisabledTelemetryOverheadGuard' -v ./internal/obs
+	$(GO) test -run 'TestSteadyStateAllocGuard' -v ./internal/video
 	$(GO) test -run='^$$' -bench='KernelFullPipeline(DirectRange|Traced)$$' -benchmem .
 
 # End-to-end telemetry smoke: run a clip with -telemetry held open,

@@ -9,10 +9,16 @@
 //	hebsbenchcmp -old BENCH_pipeline.json -new /tmp/perf.json [-tol 10]
 //
 // Records are matched by (name, workers). A matched record whose
-// ns_per_op grew by more than -tol percent is a regression; a record
-// present in the baseline but missing from the new run is lost
-// coverage. Either fails the run with exit status 1. Records new in
-// the fresh run are reported but do not fail.
+// ns_per_op grew by more than -tol percent is a regression; one whose
+// allocs_per_op grew at all is an allocation regression (allocation
+// counts are deterministic, so unlike wall clock they get no noise
+// tolerance; -alloc-slack loosens this for cross-version comparisons);
+// a record present in the baseline but missing from the new run is
+// lost coverage. Any of the three fails the run with exit status 1.
+// Records new in the fresh run are reported but do not fail. An
+// allocation regression prints a hebsvet cross-reference: the per-frame
+// hot path is //hebs:noalloc-annotated, so `go run ./cmd/hebsvet -v`
+// and `-list` name the function that started allocating.
 package main
 
 import (
@@ -59,6 +65,7 @@ func run(args []string, out io.Writer) error {
 	oldPath := fs.String("old", "", "baseline hebsbench -json file")
 	newPath := fs.String("new", "", "fresh hebsbench -json file to compare against the baseline")
 	tol := fs.Float64("tol", 10, "maximum tolerated ns_per_op growth in percent")
+	allocSlack := fs.Int64("alloc-slack", 0, "maximum tolerated allocs_per_op growth in objects (counts are deterministic; default 0)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,6 +74,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *tol < 0 {
 		return fmt.Errorf("negative -tol %v", *tol)
+	}
+	if *allocSlack < 0 {
+		return fmt.Errorf("negative -alloc-slack %v", *allocSlack)
 	}
 	oldDoc, err := load(*oldPath)
 	if err != nil {
@@ -100,6 +110,7 @@ func run(args []string, out io.Writer) error {
 	})
 
 	failed := false
+	allocRegressed := false
 	for _, o := range olds {
 		k := key{o.Name, o.Workers}
 		oldKeys[k] = true
@@ -116,6 +127,11 @@ func run(args []string, out io.Writer) error {
 			status = "REGRESSION"
 			failed = true
 		}
+		if n.AllocsPerOp > o.AllocsPerOp+*allocSlack {
+			status = "ALLOC-REG"
+			failed = true
+			allocRegressed = true
+		}
 		fmt.Fprintf(out, "%-10s %-20s workers=%-3d ns/op %12.0f -> %12.0f  (%+.1f%%, tol %.1f%%)  allocs %d -> %d\n",
 			status, o.Name, o.Workers, o.NsPerOp, n.NsPerOp, deltaPct, *tol,
 			o.AllocsPerOp, n.AllocsPerOp)
@@ -125,6 +141,12 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "new       %-20s workers=%-3d ns/op %12.0f (no baseline)\n",
 				n.Name, n.Workers, n.NsPerOp)
 		}
+	}
+	if allocRegressed {
+		fmt.Fprintf(out, "allocs_per_op grew: the per-frame hot path is //hebs:noalloc-annotated, so run\n"+
+			"`go run ./cmd/hebsvet -v` for the escaping expression and `go run ./cmd/hebsvet -list`\n"+
+			"for the annotated-function inventory; a new allocation outside those functions is\n"+
+			"per-clip bookkeeping and needs a baseline update instead.\n")
 	}
 	if failed {
 		return fmt.Errorf("perf comparison failed (tolerance %.1f%%)", *tol)

@@ -57,6 +57,31 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 }
 
+func TestCompareAllocRegressionFails(t *testing.T) {
+	oldPath := writeDoc(t, "old.json", baseline)
+	// ns/op is flat — only the allocation count grew. Wall-clock
+	// tolerance must not excuse it.
+	newPath := writeDoc(t, "new.json", `{"schema_version":1,"perf":[
+		{"name":"video/steady16","workers":1,"ns_per_op":1000000,"allocs_per_op":39},
+		{"name":"video/steady16","workers":4,"ns_per_op":400000,"allocs_per_op":34}
+	]}`)
+	var sb strings.Builder
+	err := run([]string{"-old", oldPath, "-new", newPath, "-tol", "10"}, &sb)
+	if err == nil {
+		t.Fatalf("allocs_per_op growth 23 -> 39 passed:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ALLOC-REG") {
+		t.Errorf("report does not flag the allocation regression:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "hebsvet") {
+		t.Errorf("report does not point at the hebsvet cross-reference:\n%s", sb.String())
+	}
+	// -alloc-slack loosens the gate for deliberate baseline moves.
+	if err := run([]string{"-old", oldPath, "-new", newPath, "-alloc-slack", "16"}, &strings.Builder{}); err != nil {
+		t.Errorf("allocs growth within -alloc-slack failed: %v", err)
+	}
+}
+
 func TestCompareMissingRecordFails(t *testing.T) {
 	oldPath := writeDoc(t, "old.json", baseline)
 	newPath := writeDoc(t, "new.json", `{"schema_version":1,"perf":[

@@ -1,11 +1,13 @@
 // Command hebslint runs the repo's custom static-analysis suite over
 // the whole module: spanend (obs span lifecycle), floateq (exact
-// float comparisons) and errdrop (discarded error returns). It is the
-// multichecker behind `make lint`.
+// float comparisons), errdrop (discarded error returns), metricname
+// (metric naming scheme), atomicmix (mixed atomic/plain access),
+// poolpair (pooled-buffer release) and lockspan (blocking calls under
+// a mutex). It is the multichecker behind `make lint`.
 //
 // Usage:
 //
-//	hebslint [-C dir] [-analyzers spanend,floateq,errdrop] [-v]
+//	hebslint [-C dir] [-analyzers spanend,poolpair,…] [-v]
 //
 // Diagnostics print as file:line:col: message (analyzer), one per
 // line, and the exit status is 1 when any diagnostic survives the

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module so the CLI can be exercised
+// end-to-end (scan + real compiler) without depending on how many
+// annotations the hebs module itself carries at any moment.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module hebsvettest\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const cleanSrc = `package kern
+
+// Add is hot.
+//
+//hebs:noalloc
+func Add(dst, src []uint8) {
+	for i := range dst {
+		if i < len(src) {
+			dst[i] += src[i]
+		}
+	}
+}
+`
+
+const leakySrc = `package leaky
+
+// Box leaks.
+//
+//hebs:noalloc
+func Box() *int {
+	v := new(int)
+	return v
+}
+
+// Excused allocates on purpose.
+//
+//hebs:noalloc
+func Excused(n int) []byte {
+	//hebs:noalloc-allow test: deliberate growth buffer
+	return make([]byte, n)
+}
+`
+
+func TestCheckModePassesCleanModule(t *testing.T) {
+	root := writeModule(t, map[string]string{"kern/kern.go": cleanSrc})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "proven allocation-free") {
+		t.Errorf("missing success line: %q", stdout.String())
+	}
+}
+
+func TestCheckModeFlagsEscape(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"kern/kern.go":   cleanSrc,
+		"leaky/leaky.go": leakySrc,
+	})
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", root, "-v"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "leaky/leaky.go:") || !strings.Contains(out, "Box") {
+		t.Errorf("finding lacks provenance: %q", out)
+	}
+	if !strings.Contains(out, "allowed:") || !strings.Contains(out, "deliberate growth buffer") {
+		t.Errorf("-v did not surface the excused finding with its reason: %q", out)
+	}
+	if strings.Contains(out, "Add") {
+		t.Errorf("clean function leaked into output: %q", out)
+	}
+}
+
+func TestListMode(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"kern/kern.go":   cleanSrc,
+		"leaky/leaky.go": leakySrc,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root, "-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"3 //hebs:noalloc function(s) in 2 package(s)", "Add", "Box", "Excused", "noalloc-allow directive(s)", "deliberate growth buffer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScanErrorExitsTwo(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc f() {\n\t//hebs:noalloc-allow\n}\n",
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", root}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "requires a reason") {
+		t.Errorf("stderr missing grammar error: %q", stderr.String())
+	}
+}

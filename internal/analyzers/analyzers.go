@@ -5,18 +5,24 @@ package analyzers
 
 import (
 	"hebs/internal/analysis"
+	"hebs/internal/analyzers/atomicmix"
 	"hebs/internal/analyzers/errdrop"
 	"hebs/internal/analyzers/floateq"
+	"hebs/internal/analyzers/lockspan"
 	"hebs/internal/analyzers/metricname"
+	"hebs/internal/analyzers/poolpair"
 	"hebs/internal/analyzers/spanend"
 )
 
 // All returns the full hebslint suite in reporting order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicmix.Analyzer,
 		errdrop.Analyzer,
 		floateq.Analyzer,
+		lockspan.Analyzer,
 		metricname.Analyzer,
+		poolpair.Analyzer,
 		spanend.Analyzer,
 	}
 }

@@ -1,0 +1,104 @@
+// Package astwalk holds the intraprocedural AST machinery the
+// hebslint analyzers share: parent maps, defer detection and
+// early-exit (escape-statement) reasoning. It grew out of spanend's
+// all-paths coverage check when poolpair needed the identical logic
+// for pooled-buffer releases.
+package astwalk
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Parents records each node's parent within root. The root itself has
+// no entry.
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// IsDeferred reports whether the call runs under a defer: either
+// `defer x.M()` or `defer func() { …; x.M(); … }()`.
+func IsDeferred(call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
+	for n := ast.Node(call); n != nil; n = parents[n] {
+		switch p := parents[n].(type) {
+		case *ast.DeferStmt:
+			if p.Call == n {
+				return true
+			}
+		case *ast.CallExpr:
+			// A function literal immediately invoked by a defer.
+			if fl, ok := n.(*ast.FuncLit); ok && p.Fun == fl {
+				if ds, ok := parents[p].(*ast.DeferStmt); ok && ds.Call == p {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ContainsEscapeStmt reports whether s contains a statement that can
+// leave s early: a return, a goto or labeled branch, or an unlabeled
+// break/continue whose target construct is outside s. A continue
+// swallowed by a loop inside s stays inside s and is not an escape.
+func ContainsEscapeStmt(s ast.Stmt, parents map[ast.Node]ast.Node) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch b := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if BranchEscapes(b, s, parents) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// BranchEscapes reports whether the branch statement can transfer
+// control outside limit.
+func BranchEscapes(b *ast.BranchStmt, limit ast.Stmt, parents map[ast.Node]ast.Node) bool {
+	if b.Label != nil || b.Tok == token.GOTO {
+		return true // label targets are out of scope for this check
+	}
+	if b.Tok == token.FALLTHROUGH {
+		return false // always caught by its own switch
+	}
+	// Unlabeled break/continue: walk up to the first construct that
+	// catches it; escape only if none lies within limit (limit itself
+	// included — a loop statement catches its own break/continue).
+	for n := ast.Node(b); n != nil; n = parents[n] {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // catches both break and continue
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if b.Tok == token.BREAK {
+				return false
+			}
+		}
+		if n == limit {
+			break
+		}
+	}
+	return true
+}

@@ -1,0 +1,205 @@
+// Package atomicmix defines an analyzer that finds fields and
+// package-level variables accessed both through sync/atomic and with
+// plain loads/stores in the same package. Mixing the two is a data
+// race even when it happens to survive the race detector's schedule:
+// the plain access can tear, be cached in a register, or be reordered
+// past the atomic one. The repo's histogram counters
+// (atomic.AddInt64(&h.counts[i], 1)) are exactly the shape this
+// guards.
+//
+// The check is deliberately scoped to keep the signal high:
+//
+//   - Composite-literal initialization (`Histogram{counts: …}`) and
+//     `new`/`make` assignments inside the declaring package's
+//     constructors do not publish the value yet, so keyed
+//     composite-literal uses are never flagged. Plain writes outside a
+//     composite literal ARE flagged — a constructor that loops over
+//     the slice must carry a //hebslint:allow atomicmix directive
+//     explaining why the object is still private.
+//   - A field whose atomic uses all target an element (&x.f[i]) is
+//     "element-atomic": only plain element accesses (x.f[i]) are
+//     flagged. Reading the slice header — len(x.f), range for the
+//     index, reslicing — is safe and stays silent.
+//   - Fields of the typed atomic wrappers (atomic.Int64 and friends)
+//     cannot be mixed by construction and are out of scope.
+//
+// Like the rest of the suite the analysis is per-package; a field
+// accessed atomically here and plainly in another package is the
+// loader's cross-package blind spot, mitigated by running the suite
+// over every package in the module.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"hebs/internal/analysis"
+	"hebs/internal/analyzers/astwalk"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed through sync/atomic must not also be accessed with plain loads/stores",
+	Run:  run,
+}
+
+// target aggregates every access to one field or package-level var.
+type target struct {
+	name        string
+	atomicWhole []token.Pos // atomic.Op(&x.f, …)
+	atomicElem  []token.Pos // atomic.Op(&x.f[i], …)
+	plainWhole  []token.Pos // x.f outside index expressions
+	plainElem   []token.Pos // x.f[i]
+}
+
+func run(pass *analysis.Pass) error {
+	targets := make(map[types.Object]*target)
+	order := []types.Object{} // deterministic reporting order
+	get := func(obj types.Object) *target {
+		t, ok := targets[obj]
+		if !ok {
+			t = &target{name: obj.Name()}
+			targets[obj] = t
+			order = append(order, obj)
+		}
+		return t
+	}
+
+	for _, f := range pass.Files {
+		parents := astwalk.Parents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			obj := accessedObject(pass, n)
+			if obj == nil {
+				return true
+			}
+			t := get(obj)
+			pos := n.Pos()
+			switch classify(pass, n, parents) {
+			case accessAtomicWhole:
+				t.atomicWhole = append(t.atomicWhole, pos)
+			case accessAtomicElem:
+				t.atomicElem = append(t.atomicElem, pos)
+			case accessPlainWhole:
+				t.plainWhole = append(t.plainWhole, pos)
+			case accessPlainElem:
+				t.plainElem = append(t.plainElem, pos)
+			}
+			return true
+		})
+	}
+
+	for _, obj := range order {
+		t := targets[obj]
+		if len(t.atomicWhole) == 0 && len(t.atomicElem) == 0 {
+			continue
+		}
+		if len(t.atomicWhole) > 0 {
+			// Whole-value atomics: every plain access races.
+			for _, pos := range append(append([]token.Pos{}, t.plainWhole...), t.plainElem...) {
+				pass.Reportf(pos, "%q is accessed with sync/atomic elsewhere in this package (%s); this plain access races with it",
+					t.name, pass.Fset.Position(t.atomicWhole[0]))
+			}
+			continue
+		}
+		// Element-atomic: only element accesses conflict.
+		for _, pos := range t.plainElem {
+			pass.Reportf(pos, "elements of %q are updated with sync/atomic elsewhere in this package (%s); this plain element access races with them",
+				t.name, pass.Fset.Position(t.atomicElem[0]))
+		}
+	}
+	return nil
+}
+
+type accessKind int
+
+const (
+	accessIgnore accessKind = iota
+	accessAtomicWhole
+	accessAtomicElem
+	accessPlainWhole
+	accessPlainElem
+)
+
+// accessedObject resolves n to the field or package-level variable it
+// reads or writes: a SelectorExpr selecting a struct field, or an
+// Ident naming a package-level var. Idents that are part of a
+// SelectorExpr (either side) are skipped so each access is counted
+// once, at its outermost selector.
+func accessedObject(pass *analysis.Pass, n ast.Node) types.Object {
+	switch e := n.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return nil
+		}
+		return sel.Obj()
+	case *ast.Ident:
+		obj, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return nil
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return nil // locals are single-goroutine until they escape
+		}
+		return obj
+	}
+	return nil
+}
+
+// classify determines how the resolved access participates:
+// address-taken into a sync/atomic call (whole or element), a keyed
+// composite-literal init (ignored), or a plain access.
+func classify(pass *analysis.Pass, n ast.Node, parents map[ast.Node]ast.Node) accessKind {
+	// Skip the Ident inside its own SelectorExpr (x.f counts at the
+	// selector; the embedded f ident must not double-count) and
+	// selector path prefixes (x.f.g counts at the outer selector only
+	// for g's field; x.f is still a read of f and does count).
+	if id, ok := n.(*ast.Ident); ok {
+		if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.Sel == id {
+			return accessIgnore
+		}
+		// Composite-literal key: Histogram{counts: …}.
+		if kv, ok := parents[id].(*ast.KeyValueExpr); ok && kv.Key == id {
+			if _, inLit := parents[kv].(*ast.CompositeLit); inLit {
+				return accessIgnore
+			}
+		}
+	}
+
+	// Walk outward through index expressions to find whether the
+	// access is &-taken straight into a sync/atomic call.
+	node := ast.Node(n)
+	elem := false
+	if idx, ok := parents[node].(*ast.IndexExpr); ok && idx.X == node {
+		node = idx
+		elem = true
+	}
+	if un, ok := parents[node].(*ast.UnaryExpr); ok && un.Op == token.AND && un.X == node {
+		if call, ok := parents[un].(*ast.CallExpr); ok && isAtomicCall(pass, call) {
+			if elem {
+				return accessAtomicElem
+			}
+			return accessAtomicWhole
+		}
+	}
+	if elem {
+		return accessPlainElem
+	}
+	return accessPlainWhole
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic
+// package-level function (AddInt64, LoadUint64, CompareAndSwap…).
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,15 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", atomicmix.Analyzer, "atomicmixtest")
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4", len(diags))
+	}
+}

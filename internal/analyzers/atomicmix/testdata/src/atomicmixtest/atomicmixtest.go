@@ -1,0 +1,94 @@
+// Fixture for the atomicmix analyzer: whole-value and element-atomic
+// fields, safe header reads, constructor composite literals and an
+// allowlisted constructor loop.
+package atomicmixtest
+
+import "sync/atomic"
+
+// Counter mixes accesses on n; total is plain-only and never flagged.
+type Counter struct {
+	n     int64
+	total int64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *Counter) BadRead() int64 {
+	return c.n // want `"n" is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *Counter) BadWrite() {
+	c.n = 0 // want `"n" is accessed with sync/atomic elsewhere in this package`
+}
+
+func (c *Counter) GoodRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *Counter) PlainTotal() int64 {
+	c.total++
+	return c.total
+}
+
+// Hist is the element-atomic shape: counts elements are atomically
+// updated, so plain element access races but header reads are fine.
+type Hist struct {
+	counts []int64
+}
+
+// NewHist's keyed composite literal is constructor initialization and
+// never flagged.
+func NewHist(n int) *Hist {
+	return &Hist{counts: make([]int64, n)}
+}
+
+func (h *Hist) Add(i int) {
+	atomic.AddInt64(&h.counts[i], 1)
+}
+
+func (h *Hist) Len() int {
+	return len(h.counts) // header read: safe
+}
+
+func (h *Hist) BadSnapshot(dst []int64) {
+	for i := range h.counts { // range for index: safe
+		dst[i] = h.counts[i] // want `elements of "counts" are updated with sync/atomic`
+	}
+}
+
+func (h *Hist) GoodSnapshot(dst []int64) {
+	for i := range h.counts {
+		dst[i] = atomic.LoadInt64(&h.counts[i])
+	}
+}
+
+func (h *Hist) AllowedReset() {
+	for i := range h.counts {
+		//hebslint:allow atomicmix reset runs before the hist is published
+		h.counts[i] = 0
+	}
+}
+
+// Package-level var mixed the same way.
+var hits int64
+
+func Bump() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func Peek() int64 {
+	return hits // want `"hits" is accessed with sync/atomic elsewhere in this package`
+}
+
+// wrapped uses the typed wrapper: immune by construction, never
+// flagged.
+type wrapped struct {
+	n atomic.Int64
+}
+
+func (w *wrapped) Both() int64 {
+	w.n.Add(1)
+	return w.n.Load()
+}

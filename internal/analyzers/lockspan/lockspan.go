@@ -1,0 +1,297 @@
+// Package lockspan defines an analyzer that flags blocking operations
+// performed while a sync.Mutex or sync.RWMutex is held: channel sends
+// and receives, select statements without a default case, range over
+// a channel, obs span End delivery (End hands the span to the sink,
+// which may itself block or take locks), sync.WaitGroup.Wait and
+// time.Sleep. Any of these inside a critical section stretches every
+// other goroutine's tail latency by the blocked duration, and a
+// channel operation under a lock is one half of a classic deadlock.
+//
+// Critical sections are recognized intraprocedurally, in the same
+// statement list as the Lock call:
+//
+//	mu.Lock()            // region opens
+//	…                    // statements checked
+//	mu.Unlock()          // region closes (same mutex expression)
+//
+//	mu.Lock()
+//	defer mu.Unlock()    // region extends to the end of the list
+//
+// A Lock with no sibling Unlock keeps the region open to the end of
+// the statement list — conservative, because the unlock then happens
+// on some other control path the analysis cannot see.
+//
+// sync.Cond.Wait is deliberately NOT flagged: it is specified to be
+// called with its lock held (it unlocks atomically while waiting), so
+// flagging it would make the one correct usage impossible. Deliberate
+// blocking under a lock — a handoff protocol that holds a mutex
+// across a send by design — is silenced with //hebslint:allow
+// lockspan.
+package lockspan
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hebs/internal/analysis"
+)
+
+// Analyzer is the lockspan check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockspan",
+	Doc:  "no channel operation, span End or other blocking call while holding a mutex",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkLists(pass, body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkLists finds every statement list in the body (not descending
+// into nested function literals — they run on their own goroutine's
+// schedule and get their own pass) and scans each for lock regions.
+func checkLists(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			checkList(pass, s.List)
+		case *ast.CaseClause:
+			checkList(pass, s.Body)
+		case *ast.CommClause:
+			checkList(pass, s.Body)
+		}
+		return true
+	})
+}
+
+// checkList scans one statement list for Lock()…Unlock() regions and
+// reports blocking operations inside them.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	for i := 0; i < len(list); i++ {
+		mu, ok := mutexCallStmt(pass, list[i], "Lock", "RLock")
+		if !ok {
+			continue
+		}
+		// Find the region end: a sibling Unlock/RUnlock on the same
+		// mutex (exclusive), or the end of the list when the unlock is
+		// deferred or absent.
+		end := len(list)
+		for j := i + 1; j < len(list); j++ {
+			if isDeferredUnlock(pass, list[j], mu) {
+				continue // defer doesn't close the region here
+			}
+			if other, ok := mutexCallStmt(pass, list[j], "Unlock", "RUnlock"); ok && sameMutex(pass, mu, other) {
+				end = j
+				break
+			}
+		}
+		for _, s := range list[i+1 : end] {
+			reportBlocking(pass, s, mu)
+		}
+		// Keep scanning from the next statement rather than jumping past
+		// the unlock: a second mutex locked inside this region opens its
+		// own (possibly interleaved) region.
+	}
+}
+
+// mutexCallStmt matches `expr.Name()` where expr's type is
+// sync.Mutex/RWMutex (or a pointer to one) and Name is one of names,
+// returning the mutex expression.
+func mutexCallStmt(pass *analysis.Pass, s ast.Stmt, names ...string) (ast.Expr, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	return mutexCall(pass, es.X, names...)
+}
+
+func mutexCall(pass *analysis.Pass, e ast.Expr, names ...string) (ast.Expr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match || !isMutexType(pass.TypesInfo.TypeOf(sel.X)) {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// isDeferredUnlock matches `defer mu.Unlock()` / `defer mu.RUnlock()`.
+func isDeferredUnlock(pass *analysis.Pass, s ast.Stmt, mu ast.Expr) bool {
+	ds, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	other, ok := mutexCall(pass, ds.Call, "Unlock", "RUnlock")
+	return ok && sameMutex(pass, mu, other)
+}
+
+// sameMutex compares two mutex expressions structurally: identical
+// identifier chains (mu, s.mu, e.stats.mu) refer to the same lock for
+// any single receiver, which is the granularity this intraprocedural
+// check needs.
+func sameMutex(pass *analysis.Pass, a, b ast.Expr) bool {
+	return mutexPath(pass, a) == mutexPath(pass, b) && mutexPath(pass, a) != ""
+}
+
+// mutexPath renders the identifier chain of a mutex expression;
+// "" when the expression is not a plain chain.
+func mutexPath(pass *analysis.Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[x]; obj != nil {
+			return obj.Name()
+		}
+		return x.Name
+	case *ast.SelectorExpr:
+		base := mutexPath(pass, x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.UnaryExpr:
+		return mutexPath(pass, x.X)
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex, sync.RWMutex or a
+// pointer to either.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+// reportBlocking walks one statement inside a lock region and reports
+// every blocking operation, skipping nested function literals.
+func reportBlocking(pass *analysis.Pass, s ast.Stmt, mu ast.Expr) {
+	held := mutexPath(pass, mu)
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false // runs after the unlock (or is the unlock)
+		case *ast.SendStmt:
+			pass.Reportf(x.Arrow, "channel send while holding %s", held)
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				pass.Reportf(x.OpPos, "channel receive while holding %s", held)
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					pass.Reportf(x.For, "range over channel while holding %s", held)
+				}
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(x) {
+				pass.Reportf(x.Select, "blocking select while holding %s", held)
+			}
+			// The comm clauses' channel operations are the select itself;
+			// don't report them a second time (and a select with a
+			// default makes them non-blocking).
+			return false
+		case *ast.CallExpr:
+			if name, ok := blockingCall(pass, x); ok {
+				pass.Reportf(x.Pos(), "%s while holding %s", name, held)
+			}
+		}
+		return true
+	})
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall recognizes the known-blocking calls: (*obs.Span).End,
+// sync.WaitGroup.Wait and time.Sleep.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch {
+	case fn.Name() == "Sleep" && fn.Pkg().Path() == "time":
+		return "time.Sleep", true
+	case fn.Name() == "Wait" && fn.Pkg().Path() == "sync" && recvNamed(sig) == "WaitGroup":
+		return "sync.WaitGroup.Wait", true
+	case fn.Name() == "End" && isObsPackage(fn.Pkg()) && recvNamed(sig) == "Span":
+		return "span End (sink delivery)", true
+	}
+	return "", false
+}
+
+func recvNamed(sig *types.Signature) string {
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func isObsPackage(pkg *types.Package) bool {
+	return pkg.Path() == "hebs/internal/obs" || strings.HasSuffix(pkg.Path(), "/internal/obs")
+}

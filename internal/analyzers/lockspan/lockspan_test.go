@@ -1,0 +1,15 @@
+package lockspan_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/lockspan"
+)
+
+func TestLockspan(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", lockspan.Analyzer, "lockspantest")
+	if len(diags) != 9 {
+		t.Fatalf("got %d diagnostics, want 9", len(diags))
+	}
+}

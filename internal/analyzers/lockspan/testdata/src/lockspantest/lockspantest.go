@@ -1,0 +1,150 @@
+// Fixture for the lockspan analyzer: channel operations, sleeps, span
+// Ends and selects under a held mutex; safe post-unlock operations;
+// RWMutex read locks; Cond.Wait exemption; an allowlisted handoff.
+package lockspantest
+
+import (
+	"sync"
+	"time"
+
+	"hebs/internal/obs"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+func (s *S) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) badRecvUnderDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `channel receive while holding s.mu`
+}
+
+func (s *S) okAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- 1
+}
+
+func (s *S) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) badSpanEnd(sp *obs.Span) {
+	s.mu.Lock()
+	sp.End() // want `span End \(sink delivery\) while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) okSpanEndAfterUnlock(sp *obs.Span) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	sp.End()
+}
+
+func (s *S) badSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding s.mu`
+	case v := <-s.ch:
+		s.n = v
+	}
+}
+
+func (s *S) okSelectDefault() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+func (s *S) badWait(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding s.mu`
+}
+
+func (s *S) badRange() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for v := range s.ch { // want `range over channel while holding s.mu`
+		s.n += v
+	}
+}
+
+func (s *S) okClosureDeferred() {
+	s.mu.Lock()
+	send := func() { s.ch <- 1 } // closure body runs on its own schedule
+	s.mu.Unlock()
+	send()
+}
+
+func (s *S) allowedHandoff() {
+	s.mu.Lock()
+	//hebslint:allow lockspan deliberate handoff protocol: receiver never locks s.mu
+	s.ch <- 1
+	s.mu.Unlock()
+}
+
+type R struct {
+	mu sync.RWMutex
+	ch chan int
+}
+
+func (r *R) badUnderRLock() {
+	r.mu.RLock()
+	<-r.ch // want `channel receive while holding r.mu`
+	r.mu.RUnlock()
+}
+
+// condOK: sync.Cond.Wait is specified to run with the lock held and
+// must not be flagged.
+func condOK(mu *sync.Mutex, c *sync.Cond) {
+	mu.Lock()
+	c.Wait()
+	mu.Unlock()
+}
+
+// fakeLock has Lock/Unlock methods but is not a sync mutex; no region
+// opens.
+type fakeLock struct{}
+
+func (fakeLock) Lock()   {}
+func (fakeLock) Unlock() {}
+
+func okFake(ch chan int) {
+	var f fakeLock
+	f.Lock()
+	ch <- 1
+	f.Unlock()
+}
+
+// twoMutexes: the unlock of a different lock must not close the outer
+// region — the send still happens under t.a.
+type T struct {
+	a, b sync.Mutex
+	ch   chan int
+}
+
+func (t *T) badInterleaved() {
+	t.a.Lock()
+	t.b.Lock()
+	t.b.Unlock()
+	t.ch <- 1 // want `channel send while holding t.a`
+	t.a.Unlock()
+}

@@ -1,0 +1,383 @@
+// Package poolpair defines an analyzer enforcing the pooled-buffer
+// lifecycle: every buffer acquired from a pool inside a function must
+// be released on all paths out of that function. Two acquire shapes
+// are recognized:
+//
+//   - sync.Pool.Get — released by a Put call on a sync.Pool with the
+//     buffer as an argument;
+//   - the repo's typed pool-helper idiom: a method named get<X>
+//     (getGray, getRGB, getHist) paired with put<X> on the same
+//     receiver type. The pair is matched by suffix, so a putRGB can
+//     never satisfy a getGray.
+//
+// A leaked buffer is not a correctness bug — the GC reclaims it — but
+// it silently turns a pooled hot path back into a per-frame
+// allocation, which is exactly the regression class the 23 allocs/op
+// video budget exists to catch. The analyzer finds the leak at review
+// time instead of in a benchmark diff.
+//
+// Unlike spanend, passing the buffer to another function is treated as
+// borrowing, not as an ownership transfer: kernels receive pooled
+// buffers as arguments constantly and never keep them. Ownership
+// leaves the function only when the buffer is returned, stored into a
+// struct, slice, map or channel, or reassigned — those candidates are
+// skipped (their new owner is responsible). Deliberate transfers that
+// look like leaks are silenced with //hebslint:allow poolpair.
+//
+// Release coverage mirrors spanend: defer always satisfies the check;
+// a plain release must be a sibling statement of the acquire with no
+// early exit between them.
+package poolpair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"hebs/internal/analysis"
+	"hebs/internal/analyzers/astwalk"
+)
+
+// Analyzer is the poolpair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "every pooled-buffer acquire (sync.Pool.Get or get*/put* helper pair) must be released on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil && !isPoolHelper(fn) {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolHelper reports whether fn is itself a get*/put* pool helper:
+// the helper bodies legitimately touch sync.Pool.Get without a Put
+// (that's their whole job) and are exempt.
+func isPoolHelper(fn *ast.FuncDecl) bool {
+	name := fn.Name.Name
+	return pairSuffix(name) != "" && fn.Recv != nil
+}
+
+// candidate is one pooled buffer acquired at this function's level.
+type candidate struct {
+	obj    types.Object
+	name   string
+	pos    token.Pos
+	suffix string     // "" for sync.Pool.Get, else the get<X> suffix
+	list   []ast.Stmt // statement list containing the acquire
+	index  int
+
+	escaped         bool
+	deferredRelease bool
+	releaseStmts    []ast.Stmt
+	acquireRhs      ast.Expr // the acquire call, to skip during use classification
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	cands := collectCandidates(pass, body)
+	if len(cands) == 0 {
+		return
+	}
+	parents := astwalk.Parents(body)
+	classifyUses(pass, body, cands, parents)
+	for _, c := range cands {
+		if c.escaped || c.deferredRelease {
+			continue
+		}
+		if len(c.releaseStmts) == 0 {
+			pass.Reportf(c.pos, "pooled buffer %q is acquired but never released back to its pool", c.name)
+			continue
+		}
+		covered := false
+		for _, rel := range c.releaseStmts {
+			if releaseCoversAllPaths(c, rel, parents) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(c.pos, "pooled buffer %q is not released on all paths (prefer defer for the release)", c.name)
+		}
+	}
+}
+
+// collectCandidates finds pool-acquiring assignments in this body's
+// statement lists, not descending into nested function literals.
+func collectCandidates(pass *analysis.Pass, body *ast.BlockStmt) []*candidate {
+	byObj := make(map[types.Object]*candidate)
+	var out []*candidate
+	var scanList func(list []ast.Stmt)
+	scan := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch s := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				scanList(s.List)
+			case *ast.CaseClause:
+				scanList(s.Body)
+			case *ast.CommClause:
+				scanList(s.Body)
+			}
+			return true
+		})
+	}
+	scanList = func(list []ast.Stmt) {
+		for i, stmt := range list {
+			s, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				continue
+			}
+			suffix, ok := acquireSuffix(pass, s.Rhs[0])
+			if !ok {
+				continue
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if prev, ok := byObj[obj]; ok {
+				// Reacquire into the same variable: stop tracking both
+				// rather than mis-attribute a release.
+				prev.escaped = true
+				continue
+			}
+			c := &candidate{
+				obj: obj, name: id.Name, pos: id.Pos(),
+				suffix: suffix, list: list, index: i, acquireRhs: s.Rhs[0],
+			}
+			byObj[obj] = c
+			out = append(out, c)
+		}
+	}
+	scan(body)
+	return out
+}
+
+// classifyUses fills in each candidate's release/escape state by
+// walking every use of the buffer variable (nested literals included —
+// a capture that releases under defer counts).
+func classifyUses(pass *analysis.Pass, body *ast.BlockStmt, cands []*candidate, parents map[ast.Node]ast.Node) {
+	byObj := make(map[types.Object]*candidate, len(cands))
+	for _, c := range cands {
+		byObj[c.obj] = c
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		c, ok := byObj[pass.TypesInfo.Uses[id]]
+		if !ok {
+			return true
+		}
+		// The defining occurrence on the acquire's LHS is not a use.
+		if call, ok := enclosingCall(id, parents); ok {
+			if suffix, isRel := releaseSuffix(pass, call); isRel && suffix == c.suffix && callHasArg(call, id) {
+				if astwalk.IsDeferred(call, parents) {
+					c.deferredRelease = true
+				} else if stmt, ok := parents[call].(*ast.ExprStmt); ok {
+					c.releaseStmts = append(c.releaseStmts, stmt)
+				} else {
+					c.escaped = true // release's result consumed?! stop tracking
+				}
+				return true
+			}
+			return true // borrowed: passed as an argument, len(v), v[i] in a call…
+		}
+		if escapesOwnership(id, c, parents) {
+			c.escaped = true
+		}
+		return true
+	})
+}
+
+// enclosingCall returns the innermost call expression for which id is
+// (part of) an argument, stepping over index/slice wrappers.
+func enclosingCall(id *ast.Ident, parents map[ast.Node]ast.Node) (*ast.CallExpr, bool) {
+	for n := ast.Node(id); n != nil; n = parents[n] {
+		switch p := parents[n].(type) {
+		case *ast.CallExpr:
+			if p.Fun == n {
+				return nil, false // the buffer invoked as a function: not our shape
+			}
+			return p, true
+		case *ast.IndexExpr, *ast.SliceExpr, *ast.UnaryExpr, *ast.ParenExpr:
+			continue
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}
+
+// escapesOwnership reports whether this use hands the buffer to a new
+// owner: returned, stored, sent, or reassigned.
+func escapesOwnership(id *ast.Ident, c *candidate, parents map[ast.Node]ast.Node) bool {
+	for n := ast.Node(id); n != nil; n = parents[n] {
+		switch p := parents[n].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			return true
+		case *ast.AssignStmt:
+			if p.Rhs[0] == c.acquireRhs && len(p.Rhs) == 1 {
+				return false // the acquire statement itself
+			}
+			for _, r := range p.Rhs {
+				if r == n {
+					return true // v handed to another variable or field
+				}
+			}
+			return false // v[i] = x or v = append(... LHS writes are fine
+		case *ast.ExprStmt, *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.CaseClause, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		}
+	}
+	return false
+}
+
+// acquireSuffix recognizes pool-acquire calls: sync.Pool.Get (suffix
+// "") and get<X> helper methods (suffix "<X>").
+func acquireSuffix(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	expr := ast.Unparen(e)
+	// Type-assertion wrapper: p.Get().([]uint8) — unwrap to the call.
+	if ta, ok := expr.(*ast.TypeAssertExpr); ok {
+		expr = ast.Unparen(ta.X)
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if isSyncPoolMethod(fn, "Get") {
+		return "", true
+	}
+	if sfx := pairSuffix(fn.Name()); sfx != "" && strings.HasPrefix(fn.Name(), "get") && fn.Type().(*types.Signature).Recv() != nil {
+		return sfx, true
+	}
+	return "", false
+}
+
+// releaseSuffix recognizes release calls: sync.Pool.Put (suffix "")
+// and put<X> helper methods.
+func releaseSuffix(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	if isSyncPoolMethod(fn, "Put") {
+		return "", true
+	}
+	if sfx := pairSuffix(fn.Name()); sfx != "" && strings.HasPrefix(fn.Name(), "put") && fn.Type().(*types.Signature).Recv() != nil {
+		return sfx, true
+	}
+	return "", false
+}
+
+// pairSuffix extracts <X> from get<X>/put<X> names; "" when the name
+// is not part of the idiom (the suffix must start upper-case so plain
+// getter names like "getter" don't match).
+func pairSuffix(name string) string {
+	var sfx string
+	switch {
+	case strings.HasPrefix(name, "get"):
+		sfx = strings.TrimPrefix(name, "get")
+	case strings.HasPrefix(name, "put"):
+		sfx = strings.TrimPrefix(name, "put")
+	default:
+		return ""
+	}
+	if sfx == "" || sfx[0] < 'A' || sfx[0] > 'Z' {
+		return ""
+	}
+	return sfx
+}
+
+// callHasArg reports whether id appears among call's arguments
+// (directly or under a slice/index wrapper).
+func callHasArg(call *ast.CallExpr, id *ast.Ident) bool {
+	for _, a := range call.Args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if n == ast.Node(id) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncPoolMethod reports whether fn is (*sync.Pool).<name>.
+func isSyncPoolMethod(fn *types.Func, name string) bool {
+	if fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+// releaseCoversAllPaths mirrors spanend: the plain release must be a
+// sibling of the acquire with no early exit in between.
+func releaseCoversAllPaths(c *candidate, rel ast.Stmt, parents map[ast.Node]ast.Node) bool {
+	relIdx := -1
+	for i, s := range c.list {
+		if s == rel {
+			relIdx = i
+			break
+		}
+	}
+	if relIdx <= c.index {
+		return false
+	}
+	for _, s := range c.list[c.index+1 : relIdx] {
+		if astwalk.ContainsEscapeStmt(s, parents) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,15 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"hebs/internal/analysis/analysistest"
+	"hebs/internal/analyzers/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	diags := analysistest.Run(t, "testdata", poolpair.Analyzer, "poolpairtest")
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4", len(diags))
+	}
+}

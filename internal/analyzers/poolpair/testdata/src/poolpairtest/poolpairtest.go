@@ -1,0 +1,98 @@
+// Fixture for the poolpair analyzer: sync.Pool leaks, the get*/put*
+// helper idiom, conditional releases, ownership transfers and an
+// allowlisted handoff.
+package poolpairtest
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 64) }}
+
+func leak(n int) {
+	buf := bufPool.Get().([]byte) // want `pooled buffer "buf" is acquired but never released`
+	for i := 0; i < n && i < len(buf); i++ {
+		buf[i] = 0
+	}
+}
+
+func deferRelease() {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	buf[0] = 1
+}
+
+func plainRelease() {
+	buf := bufPool.Get().([]byte)
+	buf[0] = 1
+	bufPool.Put(buf)
+}
+
+func earlyReturn(b bool) {
+	buf := bufPool.Get().([]byte) // want `pooled buffer "buf" is not released on all paths`
+	if b {
+		return
+	}
+	bufPool.Put(buf)
+}
+
+func conditionalRelease(b bool) {
+	buf := bufPool.Get().([]byte) // want `pooled buffer "buf" is not released on all paths`
+	if b {
+		bufPool.Put(buf)
+	}
+}
+
+// Engine models the repo's typed pool-helper idiom.
+type Engine struct {
+	pool sync.Pool
+}
+
+// getGray is itself a pool helper: its body is exempt.
+func (e *Engine) getGray(n int) []uint8 {
+	buf := e.pool.Get().([]uint8)
+	return buf[:n]
+}
+
+func (e *Engine) putGray(b []uint8) { e.pool.Put(b) }
+
+func (e *Engine) getRGB(n int) []uint8 { return make([]uint8, 3*n) }
+
+func (e *Engine) putRGB(b []uint8) {}
+
+func (e *Engine) okPair(n int) {
+	buf := e.getGray(n)
+	defer e.putGray(buf)
+	buf[0] = 1
+}
+
+func (e *Engine) mismatchedPut(n int) {
+	buf := e.getGray(n) // want `pooled buffer "buf" is acquired but never released`
+	defer e.putRGB(buf)
+}
+
+func (e *Engine) borrowed(n int, sum func([]uint8) int) int {
+	buf := e.getGray(n)
+	defer e.putGray(buf)
+	return sum(buf) // passing the buffer is borrowing, not a leak
+}
+
+// Result takes ownership of transferred buffers.
+type Result struct {
+	Data []uint8
+}
+
+func (e *Engine) transfer(n int) *Result {
+	buf := e.getGray(n)
+	res := &Result{}
+	res.Data = buf // ownership moves with the store: not checked here
+	return res
+}
+
+func (e *Engine) returned(n int) []uint8 {
+	return e.getGray(n) // acquire never bound to a variable: caller owns it
+}
+
+func (e *Engine) allowedLeak(n int) {
+	//hebslint:allow poolpair buffer handed to an async consumer that releases it
+	buf := e.getGray(n)
+	buf[0] = 1
+}

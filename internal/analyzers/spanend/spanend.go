@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"hebs/internal/analysis"
+	"hebs/internal/analyzers/astwalk"
 )
 
 // Analyzer is the spanend check.
@@ -79,7 +80,7 @@ func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
 	if len(cands) == 0 {
 		return
 	}
-	parents := buildParents(body)
+	parents := astwalk.Parents(body)
 	classifyUses(pass, body, cands, parents)
 	for _, c := range cands {
 		if c.escaped || c.deferredEnd {
@@ -211,7 +212,7 @@ func classifyUses(pass *analysis.Pass, body *ast.BlockStmt, cands []*candidate, 
 		if sel.Sel.Name != "End" {
 			return true // SetInt/SetFloat/Child/…: benign annotation use
 		}
-		if isDeferred(call, parents) {
+		if astwalk.IsDeferred(call, parents) {
 			c.deferredEnd = true
 			return true
 		}
@@ -238,86 +239,11 @@ func endCoversAllPaths(c *candidate, end ast.Stmt, parents map[ast.Node]ast.Node
 		return false
 	}
 	for _, s := range c.list[c.index+1 : endIdx] {
-		if containsEscapeStmt(s, parents) {
+		if astwalk.ContainsEscapeStmt(s, parents) {
 			return false
 		}
 	}
 	return true
-}
-
-// containsEscapeStmt reports whether s contains a statement that can
-// leave s early: a return, a goto or labeled branch, or an unlabeled
-// break/continue whose target construct is outside s. A continue
-// swallowed by a loop inside s (the PLC dynamic program's skip of
-// unreachable dp states, say) stays inside s and is not an escape.
-func containsEscapeStmt(s ast.Stmt, parents map[ast.Node]ast.Node) bool {
-	found := false
-	ast.Inspect(s, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch b := n.(type) {
-		case *ast.FuncLit:
-			return false
-		case *ast.ReturnStmt:
-			found = true
-		case *ast.BranchStmt:
-			if branchEscapes(b, s, parents) {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
-}
-
-// branchEscapes reports whether the branch statement can transfer
-// control outside limit.
-func branchEscapes(b *ast.BranchStmt, limit ast.Stmt, parents map[ast.Node]ast.Node) bool {
-	if b.Label != nil || b.Tok == token.GOTO {
-		return true // label targets are out of scope for this check
-	}
-	if b.Tok == token.FALLTHROUGH {
-		return false // always caught by its own switch
-	}
-	// Unlabeled break/continue: walk up to the first construct that
-	// catches it; escape only if none lies within limit (limit itself
-	// included — a loop statement catches its own break/continue).
-	for n := ast.Node(b); n != nil; n = parents[n] {
-		switch n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt:
-			return false // catches both break and continue
-		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-			if b.Tok == token.BREAK {
-				return false
-			}
-		}
-		if n == limit {
-			break
-		}
-	}
-	return true
-}
-
-// isDeferred reports whether the call runs under a defer: either
-// `defer sp.End()` or `defer func() { …; sp.End(); … }()`.
-func isDeferred(call *ast.CallExpr, parents map[ast.Node]ast.Node) bool {
-	for n := ast.Node(call); n != nil; n = parents[n] {
-		switch p := parents[n].(type) {
-		case *ast.DeferStmt:
-			if p.Call == n {
-				return true
-			}
-		case *ast.CallExpr:
-			// A function literal immediately invoked by a defer.
-			if fl, ok := n.(*ast.FuncLit); ok && p.Fun == fl {
-				if ds, ok := parents[p].(*ast.DeferStmt); ok && ds.Call == p {
-					return true
-				}
-			}
-		}
-	}
-	return false
 }
 
 // isSpanCreatingCall recognizes obs.StartSpan(...) and
@@ -371,22 +297,4 @@ func isObsPackage(pkg *types.Package) bool {
 		return false
 	}
 	return pkg.Path() == "hebs/internal/obs" || strings.HasSuffix(pkg.Path(), "/internal/obs")
-}
-
-// buildParents records each node's parent within root.
-func buildParents(root ast.Node) map[ast.Node]ast.Node {
-	parents := make(map[ast.Node]ast.Node)
-	var stack []ast.Node
-	ast.Inspect(root, func(n ast.Node) bool {
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		if len(stack) > 0 {
-			parents[n] = stack[len(stack)-1]
-		}
-		stack = append(stack, n)
-		return true
-	})
-	return parents
 }

@@ -54,7 +54,11 @@ func (e *ConflictingOptionsError) Error() string {
 }
 
 // validateOptions rejects contradictory Options combinations before
-// any pipeline work starts.
+// any pipeline work starts. Kept out of line so the error
+// construction on its cold path is not billed to the //hebs:noalloc
+// entry points that inline it.
+//
+//go:noinline
 func validateOptions(opts Options) error {
 	if opts.DynamicRange != 0 && opts.ExactSearch {
 		return &ConflictingOptionsError{DynamicRange: opts.DynamicRange}
@@ -140,6 +144,28 @@ func resolveWorkers(n int) int {
 // Workers reports the engine's resolved intra-frame worker bound (1
 // means serial).
 func (e *Engine) Workers() int { return e.workers }
+
+// Hot-path sentinel errors. Inlined errors.New calls surface as heap
+// allocations at the call site under the hebsvet escape-analysis gate,
+// so every error an annotated function can return on its guard paths
+// is constructed once here.
+var (
+	errNilImage            = errors.New("core: nil image")
+	errNilColorImage       = errors.New("core: nil color image")
+	errApplyNilPlan        = errors.New("core: Apply with nil plan")
+	errApplyColorNilPlan   = errors.New("core: ApplyColor with nil plan")
+	errAnalyzeApplyNilHist = errors.New("core: AnalyzeApply with nil histogram")
+	errFusedApplyNilHist   = errors.New("core: FusedApply with nil histogram")
+)
+
+// segmentBudgetError formats the out-of-range segment diagnostic in
+// its own (never-inlined) frame so the fmt boxing does not count as an
+// allocation inside //hebs:noalloc callers.
+//
+//go:noinline
+func segmentBudgetError(segments int) error {
+	return fmt.Errorf("core: segment budget %d < 1", segments)
+}
 
 var (
 	defaultEngineOnce sync.Once
@@ -489,7 +515,7 @@ func (e *Engine) selectRange(ctx context.Context, img *gray.Image, opts Options)
 // parallel before the serial β governor pass.
 func (e *Engine) SelectRange(ctx context.Context, img *gray.Image, opts Options) (r int, predicted float64, err error) {
 	if img == nil {
-		return 0, 0, errors.New("core: nil image")
+		return 0, 0, errNilImage
 	}
 	if err := validateOptions(opts); err != nil {
 		return 0, 0, err
@@ -529,7 +555,7 @@ func (e *Engine) analyzeStages(ctx context.Context, sp *obs.Span, img *gray.Imag
 // when done with its histogram.
 func (e *Engine) Analyze(ctx context.Context, img *gray.Image, opts Options) (*Analysis, error) {
 	if img == nil {
-		return nil, errors.New("core: nil image")
+		return nil, errNilImage
 	}
 	if err := validateOptions(opts); err != nil {
 		return nil, err
@@ -582,7 +608,7 @@ func (e *Engine) PlanFor(ctx context.Context, h *histogram.Histogram, r int, opt
 	defer sp.End()
 	segments := opts.Segments
 	if segments < 0 {
-		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+		return nil, segmentBudgetError(segments)
 	}
 	plan, _, err := e.planFor(ctx, sp, h, r, segments, opts.Driver, opts.Equalizer, opts.ClipFactor)
 	return plan, err
@@ -590,12 +616,14 @@ func (e *Engine) PlanFor(ctx context.Context, h *histogram.Histogram, r int, opt
 
 // Apply runs the Apply stage alone: Λ remapped over img into a pooled
 // frame buffer. Return the buffer with ReleaseImage when done.
+//
+//hebs:noalloc
 func (e *Engine) Apply(ctx context.Context, plan *Plan, img *gray.Image) (*gray.Image, error) {
 	if plan == nil || plan.Lambda == nil {
-		return nil, errors.New("core: Apply with nil plan")
+		return nil, errApplyNilPlan
 	}
 	if img == nil {
-		return nil, errors.New("core: nil image")
+		return nil, errNilImage
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -613,12 +641,14 @@ func (e *Engine) Apply(ctx context.Context, plan *Plan, img *gray.Image) (*gray.
 // ApplyColor is Apply for a color frame: Λ drives all three channels
 // through the shared source-driver ladder. Release the returned frame
 // with ReleaseColorImage.
+//
+//hebs:noalloc
 func (e *Engine) ApplyColor(ctx context.Context, plan *Plan, img *rgb.Image) (*rgb.Image, error) {
 	if plan == nil || plan.Lambda == nil {
-		return nil, errors.New("core: ApplyColor with nil plan")
+		return nil, errApplyColorNilPlan
 	}
 	if img == nil {
-		return nil, errors.New("core: nil color image")
+		return nil, errNilColorImage
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -641,6 +671,8 @@ func (e *Engine) ReleaseColorImage(img *rgb.Image) { e.putRGB(img) }
 // the engine's pooled buffers and the plan's cached reconstruction
 // LUT: numerically identical (integer pixel remap + exact integral
 // images), allocation-free in steady state.
+//
+//hebs:noalloc
 func (e *Engine) transformDistortion(img *gray.Image, plan *Plan, metric chart.Metric) (float64, error) {
 	recon, err := plan.reconstruction()
 	if err != nil {
@@ -663,7 +695,7 @@ func (e *Engine) transformDistortion(img *gray.Image, plan *Plan, metric chart.M
 // engine pool (call Result.Release to recycle it).
 func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*Result, error) {
 	if img == nil {
-		return nil, errors.New("core: nil image")
+		return nil, errNilImage
 	}
 	if err := validateOptions(opts); err != nil {
 		return nil, err
@@ -673,7 +705,7 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 		segments = driver.DefaultConfig.Sources
 	}
 	if segments < 1 {
-		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+		return nil, segmentBudgetError(segments)
 	}
 	sub := power.DefaultSubsystem
 	if opts.Subsystem != nil {
@@ -706,12 +738,14 @@ func (e *Engine) Process(ctx context.Context, img *gray.Image, opts Options) (*R
 // and the packed apply both carry exact-equality guarantees);
 // PredictedDistortion is 0, as in every direct-range run. h stays
 // caller-owned.
+//
+//hebs:noalloc
 func (e *Engine) AnalyzeApply(ctx context.Context, img *gray.Image, h *histogram.Histogram, r int, opts Options) (*Result, error) {
 	if img == nil {
-		return nil, errors.New("core: nil image")
+		return nil, errNilImage
 	}
 	if h == nil {
-		return nil, errors.New("core: AnalyzeApply with nil histogram")
+		return nil, errAnalyzeApplyNilHist
 	}
 	if err := validateOptions(opts); err != nil {
 		return nil, err
@@ -721,7 +755,7 @@ func (e *Engine) AnalyzeApply(ctx context.Context, img *gray.Image, h *histogram
 		segments = driver.DefaultConfig.Sources
 	}
 	if segments < 1 {
-		return nil, fmt.Errorf("core: segment budget %d < 1", segments)
+		return nil, segmentBudgetError(segments)
 	}
 	sub := power.DefaultSubsystem
 	if opts.Subsystem != nil {
@@ -729,6 +763,7 @@ func (e *Engine) AnalyzeApply(ctx context.Context, img *gray.Image, h *histogram
 	}
 	parent := opts.Trace
 	if parent == nil {
+		//hebs:noalloc-allow zero-size spanCtxKey boxing: interface holds zerobase, no runtime allocation
 		parent = obs.SpanFromContext(ctx)
 	}
 	sp := parent.Child("core.AnalyzeApply")
@@ -747,18 +782,21 @@ func (e *Engine) AnalyzeApply(ctx context.Context, img *gray.Image, h *histogram
 // runs; the caller reuses the previous identical frame's numbers.
 // Return the frame with ReleaseImage; planCached reports whether the
 // plan came from the LRU.
+//
+//hebs:noalloc
 func (e *Engine) FusedApply(ctx context.Context, img *gray.Image, h *histogram.Histogram, r int, opts Options) (out *gray.Image, planCached bool, err error) {
 	if img == nil {
-		return nil, false, errors.New("core: nil image")
+		return nil, false, errNilImage
 	}
 	if h == nil {
-		return nil, false, errors.New("core: FusedApply with nil histogram")
+		return nil, false, errFusedApplyNilHist
 	}
 	if err := validateOptions(opts); err != nil {
 		return nil, false, err
 	}
 	parent := opts.Trace
 	if parent == nil {
+		//hebs:noalloc-allow zero-size spanCtxKey boxing: interface holds zerobase, no runtime allocation
 		parent = obs.SpanFromContext(ctx)
 	}
 	sp := parent.Child("core.FusedApply")
@@ -866,7 +904,7 @@ func (e *Engine) processPlanned(ctx context.Context, sp *obs.Span, img *gray.Ima
 // recycle the pooled luma and color buffers.
 func (e *Engine) ProcessColor(ctx context.Context, img *rgb.Image, opts Options) (*ColorResult, error) {
 	if img == nil {
-		return nil, errors.New("core: nil color image")
+		return nil, errNilColorImage
 	}
 	if err := validateOptions(opts); err != nil {
 		return nil, err
@@ -881,6 +919,7 @@ func (e *Engine) ProcessColor(ctx context.Context, img *rgb.Image, opts Options)
 	ctx = obs.ContextWithSpan(ctx, sp)
 
 	lumaSpan := sp.Child("stage.luma")
+	//hebslint:allow poolpair ownership transfers into Result via e.Process; ColorResult.Release recycles it
 	luma := e.getGray(img.W, img.H)
 	err := img.LumaInto(luma)
 	lumaSpan.End()

@@ -14,6 +14,8 @@ import "encoding/binary"
 // alias src (each output byte depends only on the same input byte,
 // and the word store happens after its word load). The tail of a
 // length not divisible by 8 is remapped scalar.
+//
+//hebs:noalloc
 func ApplyLUTPacked(dst, src []uint8, lut *[256]uint8) {
 	n := len(src) &^ 7
 	for i := 0; i < n; i += 8 {

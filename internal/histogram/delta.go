@@ -207,6 +207,8 @@ func (d *FrameDelta) binTile(pix []uint8, t int, out *tileBins) {
 // wants the change signal). It returns the number of changed tiles and
 // the total tile count; on the first Update after Configure/Invalidate
 // every tile counts as changed.
+//
+//hebs:noalloc
 func (d *FrameDelta) Update(img *gray.Image, h *Histogram) (changed, total int, err error) {
 	return d.UpdateShards(img, h, 1)
 }

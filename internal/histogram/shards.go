@@ -29,6 +29,8 @@ var shardBins = sync.Pool{New: func() any { return new([Levels]int) }}
 // OfInto for every input (integer bin addition is order-free); shards
 // <= 1, a single-row image, or a frame too small to amortize the spawn
 // cost all fall back to the serial scan.
+//
+//hebs:noalloc
 func OfIntoShards(img *gray.Image, h *Histogram, shards int) {
 	if limit := len(img.Pix) / minShardPixels; shards > limit {
 		shards = limit
@@ -40,7 +42,9 @@ func OfIntoShards(img *gray.Image, h *Histogram, shards int) {
 	if shards > img.H {
 		shards = img.H
 	}
+	//hebs:noalloc-allow fan-out path only: frames under the 32K-pixel floor take the serial branch above
 	partials := make([]*[Levels]int, shards)
+	//hebs:noalloc-allow shard closure capture, same fan-out path as the partials slice
 	parallel.Shard(img.H, shards, func(s, row0, row1 int) {
 		bins := shardBins.Get().(*[Levels]int)
 		*bins = [Levels]int{}

@@ -1,0 +1,178 @@
+// The escape-analysis gate: compile annotated packages with
+// -gcflags=-m and turn the compiler's own escape diagnostics into
+// findings against the annotation inventory. The go build cache
+// replays -m diagnostics for unchanged packages, so repeated gate runs
+// cost one cache probe per package, not a recompile.
+package noalloc
+
+import (
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one heap allocation inside an annotated function.
+type Finding struct {
+	// File:Line:Col is the allocation site as the compiler reports it
+	// (File relative to the module root).
+	File string
+	Line int
+	Col  int
+	// Func is the annotated function the site sits in.
+	Func string
+	// PkgDir is the function's package directory.
+	PkgDir string
+	// Message is the compiler's diagnostic ("make([]int, n) escapes to
+	// heap", "moved to heap: x").
+	Message string
+	// Allowed marks a finding excused by //hebs:noalloc-allow; Reason
+	// carries the directive's rationale.
+	Allowed bool
+	Reason  string
+}
+
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s in %s %s", f.File, f.Line, f.Col, f.Message, f.Func, "(hebs:noalloc)")
+	if f.Allowed {
+		s += " [allowed: " + f.Reason + "]"
+	}
+	return s
+}
+
+// Check compiles every package in the inventory with escape-analysis
+// diagnostics enabled and returns the findings (allowed ones
+// included, so -v output can show what the directives excuse) in
+// deterministic file/line order. A build failure — the annotated code
+// must compile for the proof to mean anything — is returned as an
+// error.
+func Check(inv *Inventory) ([]Finding, error) {
+	pkgs := inv.Packages()
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	diags, err := escapeDiagnostics(inv.Root, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for _, d := range diags {
+		a := inv.covering(d.file, d.line)
+		if a == nil {
+			continue
+		}
+		f := Finding{
+			File: d.file, Line: d.line, Col: d.col,
+			Func: a.Func, PkgDir: a.PkgDir, Message: d.msg,
+		}
+		if reason, ok := inv.allowedAt(d.file, d.line); ok {
+			f.Allowed = true
+			f.Reason = reason
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		return out[i].Col < out[j].Col
+	})
+	return out, nil
+}
+
+// diag is one parsed compiler diagnostic.
+type diag struct {
+	file      string
+	line, col int
+	msg       string
+}
+
+// escapeDiagnostics builds the packages (paths relative to root) with
+// -gcflags=-m and returns every heap-allocation diagnostic. The
+// -gcflags value without a pattern applies only to the packages named
+// on the command line, which is exactly the annotated set.
+func escapeDiagnostics(root string, pkgs []string) ([]diag, error) {
+	args := []string{"build", "-gcflags=-m"}
+	for _, p := range pkgs {
+		args = append(args, "./"+path.Clean(p))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	diags, parseErr := parseEscapeOutput(stderr.String())
+	if runErr != nil {
+		// -m output goes to stderr alongside any real compile error;
+		// surface the raw tail so the failure is actionable.
+		return nil, fmt.Errorf("noalloc: go %s: %v\n%s", strings.Join(args, " "), runErr, tail(stderr.String(), 30))
+	}
+	return diags, parseErr
+}
+
+// tail returns the last n lines of s.
+func tail(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}
+
+// heapDiagnostic reports whether a -m message names a heap
+// allocation. The two spellings the gc compiler uses:
+//
+//	<expr> escapes to heap     (new/make/composite literal/boxing)
+//	moved to heap: <var>       (stack variable promoted)
+//
+// "does not escape" and the inlining chatter are filtered by the
+// suffix/prefix match.
+func heapDiagnostic(msg string) bool {
+	return strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
+}
+
+// parseEscapeOutput extracts file:line:col heap diagnostics from the
+// compiler's stderr. Lines that don't parse as positions ("# pkg"
+// headers, flow traces from -m=2) are skipped.
+func parseEscapeOutput(out string) ([]diag, error) {
+	var diags []diag
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, ok := parseDiagLine(line)
+		if !ok || !heapDiagnostic(d.msg) {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	return diags, nil
+}
+
+// parseDiagLine splits "file.go:12:34: message". The file part may
+// contain path separators but no colons (true for module-relative
+// paths on every platform the repo builds on).
+func parseDiagLine(s string) (diag, bool) {
+	parts := strings.SplitN(s, ":", 4)
+	if len(parts) != 4 || !strings.HasSuffix(parts[0], ".go") {
+		return diag{}, false
+	}
+	line, err1 := strconv.Atoi(parts[1])
+	col, err2 := strconv.Atoi(parts[2])
+	if err1 != nil || err2 != nil {
+		return diag{}, false
+	}
+	return diag{
+		file: strings.TrimPrefix(parts[0], "./"),
+		line: line,
+		col:  col,
+		msg:  strings.TrimSpace(parts[3]),
+	}, true
+}

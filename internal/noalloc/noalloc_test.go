@@ -1,0 +1,125 @@
+package noalloc
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hebs/internal/analysis"
+)
+
+// fixtureInventory scans the self-test fixture package.
+func fixtureInventory(t *testing.T) *Inventory {
+	t.Helper()
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "noalloc", "testdata", "src", "noallocfix")
+	inv, err := ScanDir(root, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inv
+}
+
+func TestScanFixtureInventory(t *testing.T) {
+	inv := fixtureInventory(t)
+	var names []string
+	for _, a := range inv.Annotations {
+		names = append(names, a.Func)
+		if a.Line <= 0 || a.BodyEnd < a.Line {
+			t.Errorf("%s: bad span %d..%d", a.Func, a.Line, a.BodyEnd)
+		}
+	}
+	want := []string{"Escaping", "Clean", "Excused"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("annotated functions = %v, want %v", names, want)
+	}
+	if len(inv.Allows) != 1 || !strings.Contains(inv.Allows[0].Reason, "deliberate allocation") {
+		t.Fatalf("allows = %+v, want the one fixture directive", inv.Allows)
+	}
+}
+
+// TestGateAgainstCompiler is the hebsvet self-test: the gate must
+// report the known-escaping annotated function (with provenance), let
+// the clean one pass, and mark the excused one allowed. It shells out
+// to the real go toolchain, exactly as the CLI does.
+func TestGateAgainstCompiler(t *testing.T) {
+	inv := fixtureInventory(t)
+	findings, err := Check(inv)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	var hard, allowed []Finding
+	for _, f := range findings {
+		if f.Func == "Clean" {
+			t.Errorf("clean function produced a finding: %s", f)
+		}
+		if f.Allowed {
+			allowed = append(allowed, f)
+		} else {
+			hard = append(hard, f)
+		}
+	}
+	if len(hard) == 0 {
+		t.Fatal("gate missed the known-escaping annotated function")
+	}
+	for _, f := range hard {
+		if f.Func != "Escaping" {
+			t.Errorf("unexpected hard finding in %s: %s", f.Func, f)
+		}
+		if f.Line <= 0 || !strings.Contains(f.File, "noallocfix") {
+			t.Errorf("finding lacks provenance: %+v", f)
+		}
+	}
+	if len(allowed) != 1 || allowed[0].Func != "Excused" {
+		t.Errorf("allowed findings = %v, want exactly the Excused one", allowed)
+	}
+}
+
+func TestScanRejectsBareAllow(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\nfunc f() {\n\t//hebs:noalloc-allow\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanDir(dir, dir); err == nil || !strings.Contains(err.Error(), "requires a reason") {
+		t.Fatalf("bare noalloc-allow error = %v, want 'requires a reason'", err)
+	}
+}
+
+func TestScanRejectsUnattachedDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := "package p\n\n//hebs:noalloc\n\nvar x int\n"
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanDir(dir, dir); err == nil || !strings.Contains(err.Error(), "not attached") {
+		t.Fatalf("unattached directive error = %v, want 'not attached'", err)
+	}
+}
+
+func TestParseDiagLine(t *testing.T) {
+	d, ok := parseDiagLine("internal/gray/gray.go:33:9: &Image{...} escapes to heap")
+	if !ok || d.file != "internal/gray/gray.go" || d.line != 33 || d.col != 9 {
+		t.Fatalf("parseDiagLine = %+v, %v", d, ok)
+	}
+	if !heapDiagnostic(d.msg) {
+		t.Errorf("heapDiagnostic(%q) = false", d.msg)
+	}
+	for _, s := range []string{
+		"# hebs/internal/gray",
+		"internal/gray/gray.go:65:6: can inline (*Image).Clone",
+		"internal/gray/gray.go:94:25: inlining call to errors.New",
+		"internal/gray/gray.go:42:7: m does not escape",
+	} {
+		if d, ok := parseDiagLine(s); ok && heapDiagnostic(d.msg) {
+			t.Errorf("%q parsed as a heap diagnostic", s)
+		}
+	}
+	if d, ok := parseDiagLine("internal/core/engine.go:100:3: moved to heap: x"); !ok || !heapDiagnostic(d.msg) {
+		t.Errorf("moved-to-heap line not recognized: %+v %v", d, ok)
+	}
+}

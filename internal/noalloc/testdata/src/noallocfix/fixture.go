@@ -1,0 +1,46 @@
+// Package noallocfix is the hebsvet self-test fixture: a package with
+// one annotated function that provably escapes, one that is provably
+// clean, and one whose deliberate allocation carries an allow
+// directive. The gate test asserts exactly these outcomes against the
+// real compiler, so a gc release that changes its diagnostic spelling
+// breaks the test — not silently the gate.
+package noallocfix
+
+// Escaping violates its own annotation: the pointer it returns forces
+// the new(int) onto the heap, which the gate must report.
+//
+//hebs:noalloc
+func Escaping() *int {
+	x := new(int)
+	*x = 42
+	return x
+}
+
+// Clean is the true-negative case: pure register/stack arithmetic
+// over caller-owned slices, no allocation on any path.
+//
+//hebs:noalloc
+func Clean(dst, src []uint8) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[i] + 1
+	}
+}
+
+// Excused allocates deliberately and says so: the allow directive
+// must downgrade the finding without hiding it from -v output.
+//
+//hebs:noalloc
+func Excused(n int) []int {
+	//hebs:noalloc-allow fixture: deliberate allocation, documented here
+	return make([]int, n)
+}
+
+// Unannotated allocates freely; nothing about it may appear in gate
+// output.
+func Unannotated() *int {
+	return new(int)
+}

@@ -72,6 +72,9 @@ func NewFlightRecorder(size int) *FlightRecorder {
 func (f *FlightRecorder) Size() int { return len(f.slots) }
 
 // Record appends one frame record, evicting the oldest when full.
+//
+//hebs:noalloc
+//hebs:noalloc-allow the ring's one deliberate per-record allocation: storing &rec keeps slot reads tear-free
 func (f *FlightRecorder) Record(rec FrameRecord) {
 	i := f.idx.Add(1) - 1
 	f.slots[i%uint64(len(f.slots))].Store(&rec)

@@ -5,7 +5,24 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"hebs/internal/noalloc"
 )
+
+// noallocSuspects renders this package's //hebs:noalloc inventory in
+// the `hebsvet -list` format, so an alloc-guard failure names the
+// annotated functions to re-check (run `go run ./cmd/hebsvet -v` for
+// the exact escaping expression) instead of reporting a bare count.
+func noallocSuspects(t *testing.T) string {
+	t.Helper()
+	inv, err := noalloc.ScanDir("../..", ".")
+	if err != nil {
+		return "(noalloc inventory unavailable: " + err.Error() + ")"
+	}
+	var sb strings.Builder
+	inv.WriteList(&sb)
+	return sb.String()
+}
 
 // TestFlightRecorderWraparound drives more records than the ring holds
 // and checks the snapshot retains exactly the newest `size` records,
@@ -132,7 +149,9 @@ func TestDisabledTelemetryOverheadGuard(t *testing.T) {
 		t.Errorf("disabled-path telemetry overhead %d ns per frame-worth of sites; want <= 2000", perOp)
 	}
 	if allocs := res.AllocsPerOp(); allocs != 0 {
-		t.Errorf("disabled-path telemetry allocates %d objects/op; want 0", allocs)
+		t.Errorf("disabled-path telemetry allocates %d objects/op; want 0\n"+
+			"the disabled path runs these //hebs:noalloc functions — re-check with `go run ./cmd/hebsvet -v`:\n%s",
+			allocs, noallocSuspects(t))
 	}
 }
 

@@ -22,9 +22,13 @@ type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n (n must be >= 0 for the value to
 // stay monotone; this is not enforced).
+//
+//hebs:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Inc increments the counter by one.
+//
+//hebs:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.
@@ -34,10 +38,14 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set records the value.
+//
+//hebs:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by delta (atomically, via CAS — safe for
 // concurrent inc/dec pairs such as an in-flight counter).
+//
+//hebs:noalloc
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -75,6 +83,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//hebs:noalloc
 func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound >= v.
 	i := sort.SearchFloat64s(h.bounds, v)

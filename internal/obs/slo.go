@@ -47,6 +47,8 @@ func NewWindow(size int) *Window {
 func (w *Window) Size() int { return len(w.slots) }
 
 // Observe records one value, evicting the oldest when full.
+//
+//hebs:noalloc
 func (w *Window) Observe(v float64) {
 	i := w.idx.Add(1) - 1
 	w.slots[i%uint64(len(w.slots))].Store(math.Float64bits(v))

@@ -13,7 +13,7 @@ import (
 // the engine's pools and plan cache target — after the first frame the
 // histogram never changes, so range reuse and plan-cache hits should
 // make per-frame work approach a pure LUT apply.
-func steadyClip(b *testing.B) *Sequence {
+func steadyClip(b testing.TB) *Sequence {
 	b.Helper()
 	img, err := sipi.Generate("lena", 128, 128)
 	if err != nil {

@@ -40,6 +40,8 @@ var (
 // count — the flight record's scene fingerprint (two frames with equal
 // hashes almost surely share a histogram, hence a plan). Called only
 // when the flight recorder is enabled.
+//
+//hebs:noalloc
 func flightHistHash(h *histogram.Histogram) uint64 {
 	const (
 		offset64 = 14695981039346656037

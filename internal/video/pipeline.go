@@ -86,9 +86,14 @@ const minHistFanoutPixels = 1 << 15
 // statePool recycles clip state slices across pipelined runs.
 var statePool = sync.Pool{New: func() any { return new([]frameState) }}
 
+// getClipState draws a clip-sized frameState slice from the pool,
+// growing it only when a longer clip arrives.
+//
+//hebs:noalloc
 func getClipState(n int) *[]frameState {
 	p := statePool.Get().(*[]frameState)
 	if cap(*p) < n {
+		//hebs:noalloc-allow clip-state growth on first longer clip; amortized to zero in steady state
 		*p = make([]frameState, n)
 	}
 	*p = (*p)[:n]
