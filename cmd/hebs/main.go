@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 
+	"hebs/internal/backlight"
 	"hebs/internal/chart"
 	"hebs/internal/core"
 	"hebs/internal/driver"
@@ -55,6 +56,8 @@ func run(args []string, out io.Writer) (err error) {
 	colorMode := fs.Bool("color", false, "keep color: decide on luma, apply Λ to all channels")
 	curvePath := fs.String("curve", "", "characteristic-curve JSON (from hebschar -save); implies curve-lookup mode")
 	workers := fs.Int("workers", 1, "worker goroutines for the parallel pipeline (0 = all CPUs, 1 = serial)")
+	backendSpec := fs.String("backend", "", "backlight backend: ccfl (the default global lamp), led:RxC or oled")
+	zoneTable := fs.Bool("zones", false, "print the per-zone operating points (zoned backends only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +132,26 @@ func run(args []string, out io.Writer) (err error) {
 		ew = -1
 	}
 	eng := core.NewEngine(core.EngineOptions{Workers: ew})
+	if *backendSpec != "" {
+		b, err := backlight.Parse(*backendSpec)
+		if err != nil {
+			return err
+		}
+		if c, ok := b.(*backlight.CCFL); ok {
+			// The global lamp stays on the classic pipeline with its
+			// subsystem resolved from the backend — outputs identical to
+			// a run without -backend.
+			sub := c.Subsystem()
+			opts.Subsystem = &sub
+		} else {
+			if *colorMode || *voltages || *preview != "" || *dither != "" {
+				return fmt.Errorf("-backend %s supports only -out output (no -color/-voltages/-preview/-dither)", b.Name())
+			}
+			return runZoned(ctx, eng, img, opts, b, *outPath, *zoneTable, out)
+		}
+	} else if *zoneTable {
+		return fmt.Errorf("-zones requires a zoned -backend")
+	}
 	var res *core.Result
 	var colorRes *core.ColorResult
 	if *colorMode {
@@ -211,6 +234,41 @@ func run(args []string, out io.Writer) (err error) {
 			return err
 		}
 		fmt.Fprintf(out, "wrote dithered preview to %s\n", *dither)
+	}
+	return nil
+}
+
+// runZoned routes a single image through the per-zone engine path and
+// reports the zone field instead of the single-β program.
+func runZoned(ctx context.Context, eng *core.Engine, img *gray.Image, opts core.Options,
+	b backlight.Backend, outPath string, zoneTable bool, out io.Writer) error {
+	zr, err := eng.ProcessZoned(ctx, img, opts, b)
+	if err != nil {
+		return err
+	}
+	defer zr.Release()
+
+	g := b.Grid()
+	fmt.Fprintf(out, "input:                %dx%d\n", img.W, img.H)
+	fmt.Fprintf(out, "backend:              %s (%dx%d zones)\n", b.Name(), g.Rows, g.Cols)
+	fmt.Fprintf(out, "mean β:               %.4f (min %.4f, max %.4f, spread %.4f)\n",
+		zr.BetaMean, zr.BetaMin, zr.BetaMax, zr.BetaSpread)
+	fmt.Fprintf(out, "smoothing sweeps:     %d\n", zr.SmoothSweeps)
+	fmt.Fprintf(out, "achieved distortion:  %.2f%%\n", zr.AchievedDistortion)
+	fmt.Fprintf(out, "power:                %.3f W -> %.3f W\n", zr.PowerBefore, zr.PowerAfter)
+	fmt.Fprintf(out, "power saving:         %.2f%%\n", zr.PowerSavingPercent)
+	if zoneTable {
+		fmt.Fprintln(out, "\nper-zone operating points:")
+		for _, z := range zr.Zones {
+			fmt.Fprintf(out, "  zone %3d [%3d,%3d)x[%3d,%3d): R %3d  β* %.4f  β %.4f  distortion %6.2f%%\n",
+				z.Zone, z.X0, z.X1, z.Y0, z.Y1, z.Range, z.TargetBeta, z.Beta, z.Distortion)
+		}
+	}
+	if outPath != "" {
+		if err := imageio.Save(outPath, zr.Transformed); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote transformed image to %s\n", outPath)
 	}
 	return nil
 }

@@ -28,6 +28,8 @@ import (
 	"strings"
 	"testing"
 
+	"hebs/internal/backlight"
+	"hebs/internal/chart"
 	"hebs/internal/core"
 	"hebs/internal/experiments"
 	"hebs/internal/gray"
@@ -87,7 +89,7 @@ func run(args []string, out io.Writer) (err error) {
 	size := fs.Int("size", 0, "benchmark image edge length (0 = default)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	dumpDir := fs.String("dump", "", "write the Figure 8 image dumps (PGM) into this directory")
-	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations,perf (perf is opt-in)")
+	only := fs.String("only", "", "comma-separated subset: fig6a,fig6b,fig7,fig8,table1,compare,ablations,backends,perf (perf is opt-in)")
 	workers := fs.Int("workers", 0, "worker goroutines for the suite fan-outs and perf runs (0 = all CPUs, 1 = serial)")
 	delta := fs.Bool("delta", false, "enable incremental delta analysis on the video/steady16 perf benchmark (video/static16 and video/talking16 always run with it)")
 	tileSize := fs.Int("tile-size", 0, "delta-analysis tile edge for the perf benchmarks (0 = default 64)")
@@ -267,6 +269,12 @@ func run(args []string, out io.Writer) (err error) {
 		}
 	}
 
+	if want("backends") {
+		if err := runBackends(cfg, emit); err != nil {
+			return err
+		}
+	}
+
 	// The perf section is opt-in (`-only perf`): testing.Benchmark runs
 	// take seconds each and have no place in the default artifact run.
 	if selected["perf"] {
@@ -390,6 +398,37 @@ func runAblations(cfg experiments.Config, emit func(name, title string, tb *repo
 	return emit("ablation_lc", "Ablation — LC cell nonlinearity vs ladder tap count at R=150", tb)
 }
 
+// runBackends emits the zoned-architecture tables: the per-backend
+// power characterization (the Figure 6a counterpart across shipped
+// backends) and the backend frontier (suite-mean operating points per
+// backend per distortion budget, through the zoned engine path).
+func runBackends(cfg experiments.Config, emit func(name, title string, tb *report.Table) error) error {
+	backends, err := experiments.DefaultBackends()
+	if err != nil {
+		return err
+	}
+	curves := report.NewTable("backend", "beta", "power_W")
+	for _, b := range backends {
+		pts, err := chart.BackendPowerCurve(b, 11)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			curves.MustAddRow(b.Name(), report.F(p.Beta, 4), report.F(p.Power, 4))
+		}
+	}
+	if err := emit("backend_power", "Backends — total power vs drive level at uniform mid-gray", curves); err != nil {
+		return err
+	}
+
+	rows, err := experiments.BackendFrontier(cfg, backends, []float64{2, 5, 10})
+	if err != nil {
+		return err
+	}
+	return emit("backend_frontier", "Backends — suite-mean operating points per distortion budget",
+		experiments.RenderBackendTable(rows))
+}
+
 // perfWorkerSet resolves the -workers flag into the distinct worker
 // counts to measure: always the serial baseline, plus the parallel
 // count when it differs.
@@ -498,6 +537,23 @@ func runPerf(ctx context.Context, workers int, delta bool, tileSize int) ([]perf
 		}
 		if err := record("video/talking16", w, func() error {
 			_, err := video.ProcessContext(ctx, talkSeq, dpol)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		// The zoned walk: the same steady clip through a 4×4 LED array,
+		// so the per-zone fan-out and plan-LRU behavior are tracked next
+		// to the classic single-β number.
+		led, err := backlight.NewLED(backlight.LEDOptions{Rows: 4, Cols: 4})
+		if err != nil {
+			return nil, err
+		}
+		zpol := pol
+		zpol.ReuseThreshold = 0
+		zpol.DeltaAnalysis = false
+		zpol.Backend = led
+		if err := record("video/zoned16", w, func() error {
+			_, err := video.ProcessContext(ctx, seq, zpol)
 			return err
 		}); err != nil {
 			return nil, err

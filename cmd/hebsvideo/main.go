@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"hebs/internal/backlight"
 	"hebs/internal/core"
 	"hebs/internal/gray"
 	"hebs/internal/obs"
@@ -49,6 +50,7 @@ func run(args []string, out io.Writer) (err error) {
 	tileSize := fs.Int("tile-size", 0, "delta-analysis tile edge in pixels (0 = default 64)")
 	size := fs.Int("size", 96, "frame edge length")
 	workers := fs.Int("workers", 1, "worker goroutines for the pipelined scheduler (0 = all CPUs, 1 = serial)")
+	backendSpec := fs.String("backend", "", "backlight backend: ccfl (classic pipeline), led:RxC or oled (per-zone walk)")
 	timeline := fs.Bool("timeline", false, "print the per-frame span timeline (stage durations)")
 	diag := obs.AddCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +96,19 @@ func run(args []string, out io.Writer) (err error) {
 		Workers:        pw,
 		Options:        core.Options{MaxDistortionPercent: *budget, ExactSearch: true},
 	}
+	zoned := false
+	if *backendSpec != "" {
+		b, err := backlight.Parse(*backendSpec)
+		if err != nil {
+			return err
+		}
+		_, ccfl := b.(*backlight.CCFL)
+		zoned = !ccfl
+		if zoned && *reuse > 0 {
+			return fmt.Errorf("-reuse applies only to the classic walk, not -backend %s", b.Name())
+		}
+		pol.Backend = b
+	}
 	// SIGINT cancels the clip between frames; the frames finished so
 	// far are still reported (a second signal kills the process via
 	// the restored default handler).
@@ -117,13 +132,26 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprintf(out, "clip %q: %d frames of %dx%d, budget %.0f%%, maxstep %.3f, cutdetect %v\n\n",
 		*clipKind, len(clip.Frames), *size, *size, *budget, *maxStep, *cutDetect)
 
-	tb := report.NewTable("frame", "target_beta", "applied_beta", "range", "distortion_pct", "saving_pct")
+	// Zone columns are appended only on the zoned walk, so a -backend
+	// ccfl run stays byte-identical to a run without the flag.
+	header := []string{"frame", "target_beta", "applied_beta", "range", "distortion_pct", "saving_pct"}
+	if zoned {
+		header = append(header, "zones", "beta_spread")
+	}
+	tb := report.NewTable(header...)
 	for i, f := range res.Frames {
-		tb.MustAddRow(report.I(i), report.F(f.TargetBeta, 3), report.F(f.Beta, 3),
-			report.I(f.Range), report.F(f.Distortion, 2), report.F(f.SavingPercent, 1))
+		row := []string{report.I(i), report.F(f.TargetBeta, 3), report.F(f.Beta, 3),
+			report.I(f.Range), report.F(f.Distortion, 2), report.F(f.SavingPercent, 1)}
+		if zoned {
+			row = append(row, report.I(f.Zones), report.F(f.ZoneBetaSpread, 3))
+		}
+		tb.MustAddRow(row...)
 	}
 	if err := tb.WriteText(out); err != nil {
 		return err
+	}
+	if zoned {
+		fmt.Fprintf(out, "\nbackend:       %s\n", pol.Backend.Name())
 	}
 	fmt.Fprintf(out, "\nmean saving:   %.1f%%\n", res.MeanSaving)
 	fmt.Fprintf(out, "flicker:       mean |Δβ| %.4f, max |Δβ| %.4f\n",

@@ -1,0 +1,56 @@
+package backlight
+
+import "hebs/internal/power"
+
+// CCFL adapts the paper's global lamp + panel model (power.Subsystem)
+// to the Backend interface: one zone covering the whole panel, the
+// two-piece linear lamp curve of Eq. 11 for illumination and the
+// quadratic TFT model of Eq. 12 for the panel share. It is the
+// refactor's regression anchor — ZonePower evaluates the exact legacy
+// expressions in the exact legacy order, so a 1×1 zoned run reproduces
+// power.Subsystem.Power bit for bit (TestBackendEquivalence holds the
+// stack to this).
+type CCFL struct {
+	sub power.Subsystem
+}
+
+// NewCCFL wraps a lamp+panel subsystem as a Backend.
+func NewCCFL(sub power.Subsystem) *CCFL { return &CCFL{sub: sub} }
+
+// DefaultCCFL returns the LP064V1 backend used throughout the
+// reproduction.
+func DefaultCCFL() *CCFL { return NewCCFL(power.DefaultSubsystem) }
+
+// Name implements Backend.
+func (c *CCFL) Name() string { return "ccfl" }
+
+// Grid implements Backend: a CCFL tube lights the whole panel.
+func (c *CCFL) Grid() Grid { return Grid{Rows: 1, Cols: 1} }
+
+// Subsystem returns the wrapped legacy power model — the classic
+// single-β pipeline resolves its Options.Subsystem from here so a
+// backend-selected CCFL run and a legacy run share one set of
+// coefficients.
+func (c *CCFL) Subsystem() power.Subsystem { return c.sub }
+
+// ZonePower implements Backend. With full-frame content this is
+// power.Subsystem.Power(img, beta) term for term.
+func (c *CCFL) ZonePower(beta float64, ct Content) (ZonePower, error) {
+	pb, err := c.sub.CCFL.Power(beta)
+	if err != nil {
+		return ZonePower{}, err
+	}
+	pt, err := c.sub.TFT.PowerShare(ct.SumLuma, ct.SumLumaSq, ct.Pixels, ct.Total)
+	if err != nil {
+		return ZonePower{}, err
+	}
+	return ZonePower{Illumination: pb, Panel: pt}, nil
+}
+
+// QuantizeBeta implements Backend: the lamp driver is continuously
+// dimmable, so the grid is the identity.
+func (c *CCFL) QuantizeBeta(beta float64) float64 { return beta }
+
+// MaxSlew implements Backend: no hardware slew limit (the temporal
+// policy's own limit still applies).
+func (c *CCFL) MaxSlew() float64 { return 0 }

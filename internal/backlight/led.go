@@ -1,0 +1,137 @@
+package backlight
+
+import (
+	"fmt"
+	"math"
+
+	"hebs/internal/power"
+)
+
+// LEDOptions configures an LED local-dimming zone array.
+type LEDOptions struct {
+	// Rows and Cols set the zone geometry (both >= 1).
+	Rows, Cols int
+	// PeakPower is the whole array's drive power with every zone at
+	// β = 1. 0 selects the default CCFL lamp's full power, so an LED
+	// panel at full drive matches the lamp it replaces — the apples-
+	// to-apples calibration the backend comparison tables rely on.
+	PeakPower float64
+	// IdleFraction is the per-zone driver overhead at β = 0 as a
+	// fraction of the zone's peak power, in [0,1): even a fully
+	// dimmed zone pays its converter/controller floor.
+	IdleFraction float64
+	// Panel overrides the TFT modulation model; nil selects
+	// power.DefaultTFT (the LCD stack in front of the LEDs is the
+	// same panel regardless of what lights it).
+	Panel *power.TFTPanel
+	// PWMBits quantizes β to a 2^bits−1 step PWM duty grid; 0 selects
+	// 8 bits (the grid then coincides with the range grid R/255).
+	PWMBits int
+	// SlewPerFrame is the driver's largest per-frame per-zone |Δβ|
+	// (0 = unlimited).
+	SlewPerFrame float64
+}
+
+// LED is an N×M locally-dimmable LED zone array behind the shared TFT
+// panel: per-zone linear drive power with an idle floor, PWM-quantized
+// β, and an optional hardware slew bound.
+type LED struct {
+	grid  Grid
+	peak  float64
+	idle  float64
+	panel power.TFTPanel
+	steps float64
+	slew  float64
+	name  string
+}
+
+// DefaultLEDIdleFraction is the per-zone driver floor NewLED uses when
+// LEDOptions.IdleFraction is 0.
+const DefaultLEDIdleFraction = 0.05
+
+// NewLED validates the options and builds the backend.
+func NewLED(o LEDOptions) (*LED, error) {
+	g := Grid{Rows: o.Rows, Cols: o.Cols}
+	if err := validateGrid(g); err != nil {
+		return nil, err
+	}
+	peak := o.PeakPower
+	if peak == 0 {
+		peak = power.DefaultCCFL.FullPower()
+	}
+	if math.IsNaN(peak) || peak <= 0 {
+		return nil, fmt.Errorf("backlight: LED peak power %v must be positive", peak)
+	}
+	idle := o.IdleFraction
+	if idle == 0 {
+		idle = DefaultLEDIdleFraction
+	}
+	if math.IsNaN(idle) || idle < 0 || idle >= 1 {
+		return nil, fmt.Errorf("backlight: LED idle fraction %v outside [0,1)", idle)
+	}
+	bits := o.PWMBits
+	if bits == 0 {
+		bits = 8
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("backlight: LED PWM depth %d bits outside [1,16]", bits)
+	}
+	if math.IsNaN(o.SlewPerFrame) || o.SlewPerFrame < 0 || o.SlewPerFrame > 1 {
+		return nil, fmt.Errorf("backlight: LED slew %v outside [0,1]", o.SlewPerFrame)
+	}
+	panel := power.DefaultTFT
+	if o.Panel != nil {
+		panel = *o.Panel
+	}
+	return &LED{
+		grid:  g,
+		peak:  peak,
+		idle:  idle,
+		panel: panel,
+		steps: float64(int(1)<<bits - 1),
+		slew:  o.SlewPerFrame,
+		name:  fmt.Sprintf("led:%dx%d", g.Rows, g.Cols),
+	}, nil
+}
+
+// Name implements Backend ("led:RxC").
+func (l *LED) Name() string { return l.name }
+
+// Grid implements Backend.
+func (l *LED) Grid() Grid { return l.grid }
+
+// ZonePower implements Backend: the zone's equal share of the array's
+// peak drive power, scaled linearly between the idle floor and full
+// drive, plus the zone's share of the TFT panel power.
+func (l *LED) ZonePower(beta float64, ct Content) (ZonePower, error) {
+	if math.IsNaN(beta) || beta < 0 || beta > 1 {
+		return ZonePower{}, fmt.Errorf("backlight: zone factor %v outside [0,1]", beta)
+	}
+	ill := l.peak / float64(l.grid.Zones()) * (l.idle + (1-l.idle)*beta)
+	pt, err := l.panel.PowerShare(ct.SumLuma, ct.SumLumaSq, ct.Pixels, ct.Total)
+	if err != nil {
+		return ZonePower{}, err
+	}
+	return ZonePower{Illumination: ill, Panel: pt}, nil
+}
+
+// QuantizeBeta implements Backend: round β up to the next PWM duty
+// step. Rounding up keeps the zone at least as bright as its
+// admissible range demands, so quantization never violates a
+// distortion budget.
+func (l *LED) QuantizeBeta(beta float64) float64 {
+	if math.IsNaN(beta) {
+		return beta
+	}
+	q := math.Ceil(beta*l.steps) / l.steps
+	if q > 1 {
+		q = 1
+	}
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// MaxSlew implements Backend.
+func (l *LED) MaxSlew() float64 { return l.slew }

@@ -1,0 +1,78 @@
+package backlight
+
+import (
+	"fmt"
+	"math"
+)
+
+// OLED models an emissive panel: there is no backlight, and power is
+// proportional to the luminance actually emitted — β times the mean
+// transformed pixel value — plus a content-independent scan/driver
+// floor. HEBS still applies: Λ compresses codes into [0,R] and the
+// panel's global brightness scale plays β's role, so dark-biased
+// frames get the full content-proportional saving while the displayed
+// luminance β·Λ(F) is preserved exactly as on a transmissive panel.
+type OLED struct {
+	static float64
+	peak   float64
+}
+
+// Default OLED calibration: full-white at full brightness draws about
+// what the LP064V1's lamp + panel draw at β = 1 (≈3.69 W), so the
+// cross-backend tables compare like against like.
+const (
+	DefaultOLEDStaticPower = 0.40
+	DefaultOLEDPeakPower   = 3.29
+)
+
+// NewOLED builds an emissive backend: static is the scan/driver floor,
+// peak the emissive power of a full-white panel at full brightness.
+func NewOLED(static, peak float64) (*OLED, error) {
+	if math.IsNaN(static) || static < 0 {
+		return nil, fmt.Errorf("backlight: OLED static power %v must be non-negative", static)
+	}
+	if math.IsNaN(peak) || peak <= 0 {
+		return nil, fmt.Errorf("backlight: OLED peak power %v must be positive", peak)
+	}
+	return &OLED{static: static, peak: peak}, nil
+}
+
+// DefaultOLED returns the LP064V1-calibrated emissive backend.
+func DefaultOLED() *OLED {
+	o, err := NewOLED(DefaultOLEDStaticPower, DefaultOLEDPeakPower)
+	if err != nil {
+		panic(err) // unreachable: the default constants validate
+	}
+	return o
+}
+
+// Name implements Backend.
+func (o *OLED) Name() string { return "oled" }
+
+// Grid implements Backend: the brightness scale is global (per-pixel
+// emission already gives OLED its "local dimming" for free).
+func (o *OLED) Grid() Grid { return Grid{Rows: 1, Cols: 1} }
+
+// ZonePower implements Backend: emissive power scales with the mean
+// displayed luminance β·mean(x); the static floor is charged by panel
+// area share.
+func (o *OLED) ZonePower(beta float64, ct Content) (ZonePower, error) {
+	if math.IsNaN(beta) || beta < 0 || beta > 1 {
+		return ZonePower{}, fmt.Errorf("backlight: zone factor %v outside [0,1]", beta)
+	}
+	if ct.Total <= 0 || ct.Pixels < 0 || ct.Pixels > ct.Total {
+		return ZonePower{}, fmt.Errorf("backlight: pixel subset %d of %d", ct.Pixels, ct.Total)
+	}
+	n := float64(ct.Total)
+	return ZonePower{
+		Illumination: o.peak * beta * (ct.SumLuma / n),
+		Panel:        o.static * (float64(ct.Pixels) / n),
+	}, nil
+}
+
+// QuantizeBeta implements Backend: the digital brightness scale is
+// effectively continuous at this model's resolution.
+func (o *OLED) QuantizeBeta(beta float64) float64 { return beta }
+
+// MaxSlew implements Backend.
+func (o *OLED) MaxSlew() float64 { return 0 }

@@ -1,0 +1,65 @@
+package backlight
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxGridEdge bounds parsed LED grids: zones smaller than a few dozen
+// pixels stop being meaningful dimming zones and start being an
+// equalizer per pixel block.
+const MaxGridEdge = 64
+
+// SpecError reports a malformed -backend specification — the typed
+// validation error the CLI flags surface, in the style of
+// core.ConflictingOptionsError.
+type SpecError struct {
+	// Spec is the rejected specification string.
+	Spec string
+	// Reason says what is wrong with it.
+	Reason string
+}
+
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("backlight: bad backend spec %q: %s (want ccfl, led:RxC or oled)", e.Spec, e.Reason)
+}
+
+// Parse resolves a CLI backend specification: "ccfl" (the paper's
+// global lamp), "led:RxC" (an R×C zone array, e.g. "led:4x4") or
+// "oled". Errors are *SpecError.
+func Parse(spec string) (Backend, error) {
+	switch spec {
+	case "":
+		return nil, &SpecError{Spec: spec, Reason: "empty spec"}
+	case "ccfl":
+		return DefaultCCFL(), nil
+	case "oled":
+		return DefaultOLED(), nil
+	}
+	dims, ok := strings.CutPrefix(spec, "led:")
+	if !ok {
+		return nil, &SpecError{Spec: spec, Reason: "unknown backend"}
+	}
+	rs, cs, ok := strings.Cut(dims, "x")
+	if !ok {
+		return nil, &SpecError{Spec: spec, Reason: "LED grid must be RxC"}
+	}
+	rows, err := strconv.Atoi(rs)
+	if err != nil {
+		return nil, &SpecError{Spec: spec, Reason: fmt.Sprintf("bad row count %q", rs)}
+	}
+	cols, err := strconv.Atoi(cs)
+	if err != nil {
+		return nil, &SpecError{Spec: spec, Reason: fmt.Sprintf("bad column count %q", cs)}
+	}
+	if rows < 1 || cols < 1 || rows > MaxGridEdge || cols > MaxGridEdge {
+		return nil, &SpecError{Spec: spec,
+			Reason: fmt.Sprintf("grid %dx%d outside [1,%d]x[1,%d]", rows, cols, MaxGridEdge, MaxGridEdge)}
+	}
+	led, err := NewLED(LEDOptions{Rows: rows, Cols: cols})
+	if err != nil {
+		return nil, &SpecError{Spec: spec, Reason: err.Error()}
+	}
+	return led, nil
+}

@@ -1,0 +1,122 @@
+package backlight
+
+import (
+	"math"
+	"testing"
+)
+
+// gradOK checks the 4-neighbor gradient bound.
+func gradOK(betas []float64, g Grid, maxGrad float64) bool {
+	for k := range betas {
+		row, col := k/g.Cols, k%g.Cols
+		if col+1 < g.Cols && math.Abs(betas[k]-betas[k+1]) > maxGrad+1e-12 {
+			return false
+		}
+		if row+1 < g.Rows && math.Abs(betas[k]-betas[k+g.Cols]) > maxGrad+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSmoothConvergesAndBounds is the zone-smoothing satellite test:
+// the relaxation terminates, satisfies the gradient bound, only ever
+// raises zones, stays within [0,1], and is idempotent.
+func TestSmoothConvergesAndBounds(t *testing.T) {
+	cases := []struct {
+		name    string
+		g       Grid
+		betas   []float64
+		maxGrad float64
+	}{
+		{"spotlight", Grid{4, 4}, []float64{
+			0.1, 0.1, 0.1, 0.1,
+			0.1, 1.0, 0.1, 0.1,
+			0.1, 0.1, 0.1, 0.1,
+			0.1, 0.1, 0.1, 0.2,
+		}, 0.25},
+		{"gradient-already-ok", Grid{2, 3}, []float64{0.5, 0.6, 0.7, 0.5, 0.6, 0.7}, 0.25},
+		{"two-peaks", Grid{3, 3}, []float64{1, 0, 0, 0, 0, 0, 0, 0, 1}, 0.2},
+		{"single-zone", Grid{1, 1}, []float64{0.3}, 0.1},
+		{"row-strip", Grid{1, 8}, []float64{1, 0, 0, 0, 0, 0, 0, 0}, 0.1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := append([]float64(nil), c.betas...)
+			sweeps, err := Smooth(c.betas, c.g, c.maxGrad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sweeps > c.g.Rows+c.g.Cols+1 {
+				t.Fatalf("%d sweeps exceeds the convergence bound", sweeps)
+			}
+			if !gradOK(c.betas, c.g, c.maxGrad) {
+				t.Fatalf("gradient bound violated: %v", c.betas)
+			}
+			for k := range c.betas {
+				if c.betas[k] < in[k] {
+					t.Fatalf("zone %d lowered: %v -> %v", k, in[k], c.betas[k])
+				}
+				if c.betas[k] < 0 || c.betas[k] > 1 {
+					t.Fatalf("zone %d outside [0,1]: %v", k, c.betas[k])
+				}
+			}
+			again := append([]float64(nil), c.betas...)
+			sweeps2, err := Smooth(again, c.g, c.maxGrad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sweeps2 != 0 {
+				t.Fatalf("not idempotent: second call swept %d times", sweeps2)
+			}
+		})
+	}
+}
+
+// TestSmoothMonotoneInInput: raising any input zone never lowers any
+// output zone (the relaxation is a monotone operator), which is what
+// makes β floors and smoothing composable in the zoned pipeline.
+func TestSmoothMonotoneInInput(t *testing.T) {
+	g := Grid{3, 4}
+	base := []float64{0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.4, 0.1, 0.1, 0.1, 0.1, 0.7}
+	out1 := append([]float64(nil), base...)
+	if _, err := Smooth(out1, g, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	raised := append([]float64(nil), base...)
+	raised[5] = 0.6 // floor one interior zone
+	out2 := append([]float64(nil), raised...)
+	if _, err := Smooth(out2, g, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	for k := range out1 {
+		if out2[k] < out1[k]-1e-12 {
+			t.Fatalf("zone %d dropped after raising an input: %v -> %v", k, out1[k], out2[k])
+		}
+	}
+}
+
+func TestSmoothDisabledAndErrors(t *testing.T) {
+	g := Grid{2, 2}
+	betas := []float64{1, 0, 0, 0}
+	in := append([]float64(nil), betas...)
+	sweeps, err := Smooth(betas, g, 0)
+	if err != nil || sweeps != 0 {
+		t.Fatalf("disabled smoothing: sweeps=%d err=%v", sweeps, err)
+	}
+	for k := range betas {
+		//hebslint:allow floateq disabled smoothing must not touch the field
+		if betas[k] != in[k] {
+			t.Fatalf("disabled smoothing modified zone %d", k)
+		}
+	}
+	if _, err := Smooth([]float64{0.5}, g, 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Smooth([]float64{0.5, 0.5, 0.5, 1.5}, g, 0.1); err == nil {
+		t.Fatal("out-of-range β accepted")
+	}
+	if _, err := Smooth([]float64{0.5, 0.5, 0.5, 0.5}, g, math.NaN()); err == nil {
+		t.Fatal("NaN gradient accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Backend power characterization: the zoned-architecture counterpart
+// of Figure 6a. Where the CCFL curve plots one lamp's two-piece drive
+// model, this sweep drives a whole Backend — every zone at the same β,
+// displaying a uniform mid-gray frame — and reports total power, so the
+// shipped architectures (CCFL knee, LED idle floor, OLED
+// content-proportional line) are plotted on one comparable axis.
+package chart
+
+import (
+	"fmt"
+
+	"hebs/internal/backlight"
+	"hebs/internal/gray"
+)
+
+// PowerPoint is one sample of a backend power curve.
+type PowerPoint struct {
+	Beta  float64
+	Power float64
+}
+
+// BackendPowerCurveSize is the uniform test frame's edge length. Power
+// models are polynomial in per-pixel moments, so any size reproduces
+// the same curve shape; this one keeps the sweep instant.
+const BackendPowerCurveSize = 64
+
+// BackendPowerCurve samples the backend's total power (all zones, every
+// zone at the same drive level, displaying uniform mid-gray) at
+// `samples` evenly spaced β values across [0,1]. β is quantized through
+// the backend's own drive grid first, so the curve reflects realizable
+// operating points.
+func BackendPowerCurve(b backlight.Backend, samples int) ([]PowerPoint, error) {
+	if b == nil {
+		return nil, fmt.Errorf("chart: nil backend")
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("chart: need >= 2 samples, got %d", samples)
+	}
+	const edge = BackendPowerCurveSize
+	img := gray.New(edge, edge)
+	img.Fill(128)
+	g := b.Grid()
+	out := make([]PowerPoint, samples)
+	for i := range out {
+		beta := b.QuantizeBeta(float64(i) / float64(samples-1))
+		total := 0.0
+		for k := 0; k < g.Zones(); k++ {
+			x0, y0, x1, y1 := g.ZoneRect(k, edge, edge)
+			zp, err := b.ZonePower(beta, backlight.ContentOfRect(img, x0, y0, x1, y1, edge*edge))
+			if err != nil {
+				return nil, err
+			}
+			total += zp.Total()
+		}
+		out[i] = PowerPoint{Beta: beta, Power: total}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package chart
+
+import (
+	"math"
+	"testing"
+
+	"hebs/internal/backlight"
+	"hebs/internal/power"
+)
+
+func TestBackendPowerCurveCCFL(t *testing.T) {
+	pts, err := BackendPowerCurve(backlight.DefaultCCFL(), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 11 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// The global-CCFL curve at uniform mid-gray is the legacy subsystem
+	// power evaluated at the same operating point.
+	sub := power.DefaultSubsystem
+	n := BackendPowerCurveSize * BackendPowerCurveSize
+	x := 128.0 / 255.0
+	panel, err := sub.TFT.PowerShare(float64(n)*x, float64(n)*x*x, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		lamp, err := sub.CCFL.Power(p.Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p.Power-(lamp+panel)) > 1e-12 {
+			t.Errorf("β=%v: curve %v != subsystem %v", p.Beta, p.Power, lamp+panel)
+		}
+	}
+	// Monotone non-decreasing in β.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Power < pts[i-1].Power-1e-12 {
+			t.Errorf("CCFL curve decreases at β=%v", pts[i].Beta)
+		}
+	}
+}
+
+func TestBackendPowerCurveLEDAndOLED(t *testing.T) {
+	led, err := backlight.NewLED(backlight.LEDOptions{Rows: 4, Cols: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []backlight.Backend{led, backlight.DefaultOLED()} {
+		pts, err := BackendPowerCurve(b, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Power < pts[i-1].Power-1e-12 {
+				t.Errorf("%s curve decreases at β=%v", b.Name(), pts[i].Beta)
+			}
+		}
+		if pts[0].Power <= 0 {
+			t.Errorf("%s: idle/static floor missing at β=0: %v", b.Name(), pts[0].Power)
+		}
+		if pts[len(pts)-1].Power <= pts[0].Power {
+			t.Errorf("%s: full drive not above idle", b.Name())
+		}
+	}
+}
+
+func TestBackendPowerCurveValidation(t *testing.T) {
+	if _, err := BackendPowerCurve(nil, 5); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if _, err := BackendPowerCurve(backlight.DefaultCCFL(), 1); err == nil {
+		t.Error("single sample accepted")
+	}
+}

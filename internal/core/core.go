@@ -80,7 +80,27 @@ type Options struct {
 	// root span; with no span sink installed tracing costs nothing
 	// either way.
 	Trace *obs.Span
+	// ZoneMaxGradient bounds the spatial gradient of the per-zone
+	// backlight field in Engine.ProcessZoned: after per-zone range
+	// selection, a raise-only relaxation lifts each zone's β to within
+	// ZoneMaxGradient of its 4-neighbors (halo suppression; see
+	// backlight.Smooth). 0 selects DefaultZoneMaxGradient; a negative
+	// value disables smoothing. Ignored by the global pipeline.
+	ZoneMaxGradient float64
+	// ZoneBetaFloor, when non-empty, raises each zone's β to at least
+	// the given floor before smoothing — this is where the video
+	// governor's dimming slew limits enter the zoned pipeline (raising
+	// β only enlarges a zone's admissible range, so floors never
+	// violate the distortion budget). Length must equal the backend's
+	// zone count. Ignored by the global pipeline.
+	ZoneBetaFloor []float64
 }
+
+// DefaultZoneMaxGradient is the zone-boundary |Δβ| bound ProcessZoned
+// uses when Options.ZoneMaxGradient is 0: a quarter of full scale per
+// zone step keeps bright objects from sitting against fully-dark
+// neighbor zones without erasing the local-dimming saving.
+const DefaultZoneMaxGradient = 0.25
 
 // Equalizer names a histogram-equalization variant.
 type Equalizer int

@@ -63,6 +63,15 @@ var (
 	mDistortionDist = obs.NewHistogram("core.achieved_distortion_pct", obs.LinearBuckets(0, 5, 10))
 	mSavingDist     = obs.NewHistogram("core.power_saving_pct", obs.LinearBuckets(0, 10, 10))
 
+	// Zoned-pipeline telemetry: run counter, last run's zone count and
+	// applied-β spread (the local-dimming win lives in the spread), the
+	// smoothing sweep distribution and the zoned power outcome.
+	mZonedRuns       = obs.NewCounter("core.zoned.runs_total")
+	mZonedSmoothDist = obs.NewHistogram("core.zoned.smooth_sweeps", obs.LinearBuckets(0, 1, 8))
+	gZonedZones      = obs.NewGauge("core.zoned.zones")
+	gZonedBetaSpread = obs.NewGauge("core.zoned.beta_spread")
+	gZonedPowerAfter = obs.NewGauge("core.zoned.power_after_w")
+
 	// Last-run operating point, for quick expvar inspection.
 	gLastRange      = obs.NewGauge("core.last_range")
 	gLastBeta       = obs.NewGauge("core.last_beta")

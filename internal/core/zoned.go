@@ -1,0 +1,444 @@
+// The zoned engine path: Analyze/Plan/Apply per backlight zone. Each
+// zone of the backend's grid gets its own histogram, admissible range
+// and Λ — per-zone GHE beats the single global β whenever luminance is
+// unevenly distributed, because a dark zone can dim far below the
+// global optimum. The zone grid fans out on internal/parallel, zone
+// plans share the engine's plan LRU (a zone histogram is just a
+// histogram), and a raise-only spatial relaxation (backlight.Smooth)
+// bounds the β gradient across zone boundaries to suppress halo and
+// blocking artifacts. Driven by a 1×1 CCFL backend the path degenerates
+// to exactly the classic pipeline — byte-identical frames, bit-identical
+// numbers — which is what TestBackendEquivalence pins.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"hebs/internal/backlight"
+	"hebs/internal/chart"
+	"hebs/internal/driver"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/invariant"
+	"hebs/internal/obs"
+	"hebs/internal/parallel"
+	"hebs/internal/power"
+	"hebs/internal/transform"
+)
+
+// Zoned-path sentinel errors (see the noalloc note on the engine's
+// error block).
+var (
+	errNilBackend        = errors.New("core: nil backlight backend")
+	errApplyRectNil      = errors.New("core: applyLUTRect with nil argument")
+	errApplyRectGeometry = errors.New("core: applyLUTRect geometry mismatch")
+	errApplyRectBounds   = errors.New("core: applyLUTRect rectangle out of bounds")
+)
+
+// ZoneGridError reports a backend zone grid that does not fit the
+// frame (more zone columns than pixel columns, or rows likewise) —
+// every zone must own at least one pixel.
+type ZoneGridError struct {
+	Rows, Cols int
+	W, H       int
+}
+
+func (e *ZoneGridError) Error() string {
+	return fmt.Sprintf("core: %dx%d zone grid does not fit a %dx%d frame (every zone needs at least one pixel)",
+		e.Rows, e.Cols, e.W, e.H)
+}
+
+// ZoneFloorLengthError reports an Options.ZoneBetaFloor whose length
+// does not match the backend's zone count.
+type ZoneFloorLengthError struct {
+	Got, Zones int
+}
+
+func (e *ZoneFloorLengthError) Error() string {
+	return fmt.Sprintf("core: %d zone β floors for a %d-zone backend", e.Got, e.Zones)
+}
+
+// ZoneResult is one zone's operating point in a zoned run.
+type ZoneResult struct {
+	// Zone is the row-major zone index; the rectangle [X0,X1)×[Y0,Y1)
+	// is its pixel footprint.
+	Zone           int
+	X0, Y0, X1, Y1 int
+	// Range is the zone's applied dynamic range. TargetBeta is the
+	// zone's own HEBS optimum β = R/(G−1) before floors, smoothing and
+	// quantization; Beta the applied drive level (≥ TargetBeta).
+	Range      int
+	TargetBeta float64
+	Beta       float64
+	// Distortion is the measured distortion of the zone's Λ on the
+	// zone's own pixels.
+	Distortion float64
+	// PlanCached reports a plan-LRU hit for this zone.
+	PlanCached bool
+	// Power is the zone's power at the applied β displaying the
+	// transformed zone content.
+	Power backlight.ZonePower
+}
+
+// ZonedResult is a completed zoned HEBS run.
+type ZonedResult struct {
+	// Original is the input frame; Transformed the per-zone Λ(F)
+	// mosaic (pool-owned — call Release).
+	Original    *gray.Image
+	Transformed *gray.Image
+	// Backend and Grid identify the backlight architecture.
+	Backend string
+	Grid    backlight.Grid
+	// Zones holds the per-zone operating points in row-major order.
+	Zones []ZoneResult
+	// SmoothSweeps is the number of spatial-relaxation sweeps that
+	// changed the β field.
+	SmoothSweeps int
+	// BetaMin/BetaMax/BetaMean/BetaSpread summarize the applied field
+	// (Spread = Max − Min; 0 means the frame ran globally uniform).
+	BetaMin, BetaMax, BetaMean, BetaSpread float64
+	// AchievedDistortion is the whole-frame distortion of the zoned
+	// reconstruction against the original.
+	AchievedDistortion float64
+	// PowerBefore/PowerAfter sum the zone powers at β=1 on the
+	// original and at the applied β field on the transformed frame;
+	// PowerSavingPercent compares them as in Table 1.
+	PowerBefore, PowerAfter float64
+	PowerSavingPercent      float64
+
+	eng *Engine
+}
+
+// Release returns the result's pooled transformed frame to the engine.
+func (r *ZonedResult) Release() {
+	if r == nil || r.eng == nil {
+		return
+	}
+	eng := r.eng
+	r.eng = nil
+	if r.Transformed != nil {
+		eng.putGray(r.Transformed)
+		r.Transformed = nil
+	}
+}
+
+// zoneScratch is the per-zone intermediate state between the analysis
+// and apply fan-outs.
+type zoneScratch struct {
+	x0, y0, x1, y1 int
+	img            *gray.Image          // pooled copy of the zone's pixels
+	hist           *histogram.Histogram // pooled zone histogram
+	r              int                  // the zone's own admissible range
+}
+
+// applyLUTRect remaps src's [x0,x1)×[y0,y1) rectangle through lut into
+// the same rectangle of the full-frame dst — the per-zone Apply hot
+// path. Rows are contiguous subslices, so the inner loop is the same
+// table remap as the sharded kernels and a full-frame rectangle
+// produces bytes identical to LUT.ApplyIntoShards.
+//
+//hebs:noalloc
+func applyLUTRect(lut *transform.LUT, src, dst *gray.Image, x0, y0, x1, y1 int) error {
+	if lut == nil || src == nil || dst == nil {
+		return errApplyRectNil
+	}
+	if src.W != dst.W || src.H != dst.H || len(src.Pix) != len(dst.Pix) {
+		return errApplyRectGeometry
+	}
+	if x0 < 0 || y0 < 0 || x1 > src.W || y1 > src.H || x0 > x1 || y0 > y1 {
+		return errApplyRectBounds
+	}
+	for y := y0; y < y1; y++ {
+		row := src.Pix[y*src.W+x0 : y*src.W+x1]
+		out := dst.Pix[y*dst.W+x0 : y*dst.W+x1]
+		for i, p := range row {
+			out[i] = lut[p]
+		}
+	}
+	return nil
+}
+
+// copyRect copies src's rectangle with top-left (x0,y0) and dst's
+// geometry into the zone-local dst.
+//
+//hebs:noalloc
+func copyRect(src, dst *gray.Image, x0, y0 int) {
+	for y := 0; y < dst.H; y++ {
+		lo := (y0+y)*src.W + x0
+		copy(dst.Pix[y*dst.W:(y+1)*dst.W], src.Pix[lo:lo+dst.W])
+	}
+}
+
+// ProcessZoned runs the HEBS pipeline independently per backlight zone
+// of the backend's grid: per-zone Analyze (histogram + admissible
+// range on the zone's own pixels), a serial β-field pass (floors →
+// spatial smoothing → backend quantization), then a parallel per-zone
+// Plan/Apply with zone-level distortion and power measurement.
+//
+// The β-field pass only ever raises zones above their own optimum
+// (floors and smoothing are raise-only, quantization rounds up), and a
+// raised β enlarges the zone's admissible range, so no zone's
+// distortion budget is violated by any of the three adjustments.
+//
+// With a 1×1 global backend the run degenerates to the classic
+// pipeline: one zone covering the frame, the same range selection,
+// plan (shared LRU) and apply kernels — byte-identical Transformed
+// pixels, bit-identical distortion and (for the CCFL backend)
+// bit-identical power numbers.
+func (e *Engine) ProcessZoned(ctx context.Context, img *gray.Image, opts Options, b backlight.Backend) (*ZonedResult, error) {
+	if img == nil {
+		return nil, errNilImage
+	}
+	if b == nil {
+		return nil, errNilBackend
+	}
+	if err := validateOptions(opts); err != nil {
+		return nil, err
+	}
+	segments := opts.Segments
+	if segments == 0 {
+		segments = driver.DefaultConfig.Sources
+	}
+	if segments < 1 {
+		return nil, segmentBudgetError(segments)
+	}
+	g := b.Grid()
+	if g.Rows < 1 || g.Cols < 1 || g.Cols > img.W || g.Rows > img.H {
+		return nil, &ZoneGridError{Rows: g.Rows, Cols: g.Cols, W: img.W, H: img.H}
+	}
+	zones := g.Zones()
+	if len(opts.ZoneBetaFloor) != 0 && len(opts.ZoneBetaFloor) != zones {
+		return nil, &ZoneFloorLengthError{Got: len(opts.ZoneBetaFloor), Zones: zones}
+	}
+	for k, f := range opts.ZoneBetaFloor {
+		if f != f || f < 0 || f > 1 {
+			return nil, fmt.Errorf("core: zone %d β floor %v outside [0,1]", k, f)
+		}
+	}
+	metric := opts.Metric
+	if metric == nil {
+		metric = chart.UQIMetric
+	}
+
+	parent := opts.Trace
+	if parent == nil {
+		parent = obs.SpanFromContext(ctx)
+	}
+	sp := parent.Child("core.ProcessZoned")
+	defer sp.End()
+	ctx = obs.ContextWithSpan(ctx, sp)
+	sp.SetString("backend", b.Name())
+	sp.SetInt("zones", zones)
+
+	zs := make([]zoneScratch, zones)
+	releaseScratch := func() {
+		for k := range zs {
+			if zs[k].img != nil {
+				e.putGray(zs[k].img)
+			}
+			if zs[k].hist != nil {
+				e.putHist(zs[k].hist)
+			}
+		}
+	}
+	defer releaseScratch()
+
+	// Phase A — per-zone analysis, fanned out on the zone grid: copy
+	// the zone's pixels into a pooled buffer, run step 1 on them (the
+	// exact search measures the zone's own range-reduction distortion)
+	// and extract the zone histogram.
+	err := parallel.ForEach(ctx, zones, e.workers, func(k int) error {
+		x0, y0, x1, y1 := g.ZoneRect(k, img.W, img.H)
+		zimg := e.getGray(x1-x0, y1-y0)
+		zs[k] = zoneScratch{x0: x0, y0: y0, x1: x1, y1: y1, img: zimg}
+		copyRect(img, zimg, x0, y0)
+		r, _, err := e.selectRange(ctx, zimg, opts)
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		h := e.getHist()
+		zs[k].hist = h
+		histogram.OfInto(zimg, h)
+		zs[k].r = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase B — the serial β-field pass: targets from the per-zone
+	// ranges, then floors (the video governor's slew limits), then the
+	// spatial relaxation, then the backend's drive grid.
+	targets := make([]float64, zones)
+	betas := make([]float64, zones)
+	for k := range zs {
+		beta, err := power.BetaForRange(zs[k].r, transform.Levels)
+		if err != nil {
+			return nil, err
+		}
+		targets[k] = beta
+		betas[k] = beta
+	}
+	for k, f := range opts.ZoneBetaFloor {
+		if f > betas[k] {
+			betas[k] = f
+		}
+	}
+	maxGrad := opts.ZoneMaxGradient
+	if maxGrad == 0 {
+		maxGrad = DefaultZoneMaxGradient
+	}
+	sweeps, err := backlight.Smooth(betas, g, maxGrad)
+	if err != nil {
+		return nil, err
+	}
+	rngs := make([]int, zones)
+	for k := range betas {
+		q := b.QuantizeBeta(betas[k])
+		if q < betas[k] || q > 1 || q != q {
+			return nil, fmt.Errorf("core: backend %s quantized zone %d β %v to %v (must round up within [0,1])",
+				b.Name(), k, betas[k], q)
+		}
+		betas[k] = q
+		//hebslint:allow floateq an untouched zone keeps its analyzed range exactly (no β→R round trip)
+		if betas[k] == targets[k] {
+			rngs[k] = zs[k].r
+			continue
+		}
+		rngs[k], err = power.RangeForBeta(betas[k], transform.Levels)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase C — per-zone Plan/Apply/measure, fanned out on the zone
+	// grid. Zone plans share the engine LRU; Λ and the reconstruction
+	// are remapped rectangle-wise into full-frame pooled buffers.
+	out := e.getGray(img.W, img.H)
+	recon := e.getGray(img.W, img.H)
+	defer e.putGray(recon)
+	results := make([]ZoneResult, zones)
+	befores := make([]backlight.ZonePower, zones)
+	err = parallel.ForEach(ctx, zones, e.workers, func(k int) error {
+		z := &zs[k]
+		zsp := sp.Child("engine.zone")
+		defer zsp.End()
+		zsp.SetInt("zone", k)
+		plan, cached, err := e.planFor(ctx, zsp, z.hist, rngs[k], segments,
+			opts.Driver, opts.Equalizer, opts.ClipFactor)
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		if err := applyLUTRect(plan.Lambda, img, out, z.x0, z.y0, z.x1, z.y1); err != nil {
+			return err
+		}
+		reconLUT, err := plan.reconstruction()
+		if err != nil {
+			return err
+		}
+		if err := applyLUTRect(reconLUT, img, recon, z.x0, z.y0, z.x1, z.y1); err != nil {
+			return err
+		}
+		scratch := e.getGray(z.img.W, z.img.H)
+		defer e.putGray(scratch)
+		if err := reconLUT.ApplyIntoShards(z.img, scratch, 1); err != nil {
+			return err
+		}
+		d, err := metric(z.img, scratch)
+		if err != nil {
+			return fmt.Errorf("core: zone %d distortion: %w", k, err)
+		}
+		total := len(img.Pix)
+		before, err := b.ZonePower(1, backlight.ContentOfRect(img, z.x0, z.y0, z.x1, z.y1, total))
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		after, err := b.ZonePower(betas[k], backlight.ContentOfRect(out, z.x0, z.y0, z.x1, z.y1, total))
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		befores[k] = before
+		results[k] = ZoneResult{
+			Zone: k, X0: z.x0, Y0: z.y0, X1: z.x1, Y1: z.y1,
+			Range: rngs[k], TargetBeta: targets[k], Beta: betas[k],
+			Distortion: d, PlanCached: cached, Power: after,
+		}
+		zsp.SetInt("range", rngs[k])
+		zsp.SetFloat("beta", betas[k])
+		return nil
+	})
+	if err != nil {
+		e.putGray(out)
+		return nil, err
+	}
+
+	// Serial reduction in zone index order, so the sums are identical
+	// at every worker count (and, at 1×1, identical to the legacy
+	// Subsystem.Power accumulation).
+	res := &ZonedResult{
+		Original:     img,
+		Transformed:  out,
+		Backend:      b.Name(),
+		Grid:         g,
+		Zones:        results,
+		SmoothSweeps: sweeps,
+		eng:          e,
+	}
+	res.AchievedDistortion, err = metric(img, recon)
+	if err != nil {
+		res.Release()
+		return nil, err
+	}
+	res.BetaMin, res.BetaMax = betas[0], betas[0]
+	var sum float64
+	for k := range results {
+		res.PowerBefore += befores[k].Total()
+		res.PowerAfter += results[k].Power.Total()
+		sum += betas[k]
+		if betas[k] < res.BetaMin {
+			res.BetaMin = betas[k]
+		}
+		if betas[k] > res.BetaMax {
+			res.BetaMax = betas[k]
+		}
+	}
+	res.BetaMean = sum / float64(zones)
+	res.BetaSpread = res.BetaMax - res.BetaMin
+	res.PowerSavingPercent = 100 * (1 - res.PowerAfter/res.PowerBefore)
+
+	if invariant.Enabled {
+		for k := range betas {
+			invariant.AssertBeta("core: zone β", betas[k])
+			invariant.Assert(betas[k] >= targets[k],
+				"core: zone %d applied β %v below its own optimum %v", k, betas[k], targets[k])
+		}
+		if maxGrad > 0 {
+			// Quantization may re-open the smoothed gradient by at most
+			// one drive step.
+			step := 1.0 / float64(transform.Levels-1)
+			for k := range betas {
+				if k%g.Cols+1 < g.Cols {
+					invariant.Assert(betas[k]-betas[k+1] <= maxGrad+step+1e-9 && betas[k+1]-betas[k] <= maxGrad+step+1e-9,
+						"core: zone gradient |%v-%v| exceeds %v", betas[k], betas[k+1], maxGrad)
+				}
+				if k/g.Cols+1 < g.Rows {
+					invariant.Assert(betas[k]-betas[k+g.Cols] <= maxGrad+step+1e-9 && betas[k+g.Cols]-betas[k] <= maxGrad+step+1e-9,
+						"core: zone gradient |%v-%v| exceeds %v", betas[k], betas[k+g.Cols], maxGrad)
+				}
+			}
+		}
+	}
+
+	mZonedRuns.Inc()
+	gZonedZones.Set(float64(zones))
+	gZonedBetaSpread.Set(res.BetaSpread)
+	gZonedPowerAfter.Set(res.PowerAfter)
+	mZonedSmoothDist.Observe(float64(sweeps))
+	sp.SetFloat("beta_spread", res.BetaSpread)
+	sp.SetInt("smooth_sweeps", sweeps)
+	sp.SetFloat("achieved_distortion_pct", res.AchievedDistortion)
+	sp.SetFloat("power_saving_pct", res.PowerSavingPercent)
+	return res, nil
+}

@@ -1,0 +1,65 @@
+// Per-zone PLRD banking: a locally-dimmable panel carries one reference
+// ladder program per backlight zone, reconfigured together at a frame
+// boundary. The Bank type is the validated unit the LCD simulator loads
+// atomically — zone programs that disagree on the ladder hardware (Vdd,
+// source count, DAC resolution) cannot coexist on one panel.
+package driver
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Bank is a complete per-zone program set for a Rows×Cols zone grid, in
+// row-major zone order.
+type Bank struct {
+	Rows, Cols int
+	Programs   []*Program
+}
+
+// NewBank validates and assembles a per-zone program bank. All programs
+// must share the same ladder Config: the zones of a panel are driven by
+// one PLRD generation circuit, only the tap settings differ per zone.
+func NewBank(rows, cols int, progs []*Program) (*Bank, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("driver: bank grid %dx%d needs at least one zone per axis", rows, cols)
+	}
+	if len(progs) != rows*cols {
+		return nil, fmt.Errorf("driver: bank has %d programs for %d zones", len(progs), rows*cols)
+	}
+	for k, p := range progs {
+		if p == nil {
+			return nil, fmt.Errorf("driver: nil program for zone %d", k)
+		}
+		if !(p.Beta > 0 && p.Beta <= 1) {
+			return nil, fmt.Errorf("driver: zone %d backlight factor %v outside (0,1]", k, p.Beta)
+		}
+		if p.Config != progs[0].Config {
+			return nil, fmt.Errorf("driver: zone %d ladder config differs from zone 0", k)
+		}
+	}
+	return &Bank{Rows: rows, Cols: cols, Programs: progs}, nil
+}
+
+// Zones returns the bank's zone count.
+func (b *Bank) Zones() int { return b.Rows * b.Cols }
+
+// Program returns zone k's program.
+func (b *Bank) Program(k int) (*Program, error) {
+	if b == nil {
+		return nil, errors.New("driver: nil bank")
+	}
+	if k < 0 || k >= len(b.Programs) {
+		return nil, fmt.Errorf("driver: zone %d outside bank of %d", k, len(b.Programs))
+	}
+	return b.Programs[k], nil
+}
+
+// Betas lists the per-zone backlight factors in zone order.
+func (b *Bank) Betas() []float64 {
+	out := make([]float64, len(b.Programs))
+	for i, p := range b.Programs {
+		out[i] = p.Beta
+	}
+	return out
+}

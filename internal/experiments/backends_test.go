@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"hebs/internal/backlight"
+)
+
+func TestBackendFrontier(t *testing.T) {
+	backends, err := DefaultBackends()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{ImageSize: 48}
+	budgets := []float64{2, 10}
+	rows, err := BackendFrontier(cfg, backends, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(backends)*len(budgets) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(backends)*len(budgets))
+	}
+	byKey := map[string]BackendRow{}
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s@%g", r.Backend, r.Budget)] = r
+		if r.MeanBeta <= 0 || r.MeanBeta > 1 {
+			t.Errorf("%s @%v: mean beta %v", r.Backend, r.Budget, r.MeanBeta)
+		}
+		if r.MeanPowerAfter <= 0 {
+			t.Errorf("%s @%v: power %v", r.Backend, r.Budget, r.MeanPowerAfter)
+		}
+		if r.MeanSaving < 0 || r.MeanSaving >= 100 {
+			t.Errorf("%s @%v: saving %v", r.Backend, r.Budget, r.MeanSaving)
+		}
+	}
+	// A looser budget never costs more power on the same backend.
+	for _, b := range backends {
+		tight, loose := byKey[b.Name()+"@2"], byKey[b.Name()+"@10"]
+		if loose.MeanPowerAfter > tight.MeanPowerAfter+1e-9 {
+			t.Errorf("%s: budget 10 uses more power than budget 2: %v > %v",
+				b.Name(), loose.MeanPowerAfter, tight.MeanPowerAfter)
+		}
+	}
+	// Single-zone backends report zero spread; the LED array may not.
+	if s := byKey["ccfl@2"].MeanBetaSpread; s != 0 {
+		t.Errorf("ccfl spread %v, want 0", s)
+	}
+	if s := byKey["oled@2"].MeanBetaSpread; s != 0 {
+		t.Errorf("oled spread %v, want 0", s)
+	}
+
+	tbl := RenderBackendTable(rows)
+	if tbl == nil {
+		t.Fatal("nil table")
+	}
+}
+
+func TestBackendFrontierValidation(t *testing.T) {
+	cfg := Config{ImageSize: 48}
+	if _, err := BackendFrontier(cfg, nil, []float64{5}); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := BackendFrontier(cfg, []backlight.Backend{backlight.DefaultCCFL()}, nil); err == nil {
+		t.Error("empty budget list accepted")
+	}
+	if _, err := BackendFrontier(cfg, []backlight.Backend{backlight.DefaultCCFL()}, []float64{-1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

@@ -1,0 +1,206 @@
+package lcd
+
+import (
+	"math"
+	"testing"
+
+	"hebs/internal/backlight"
+	"hebs/internal/driver"
+	"hebs/internal/transform"
+)
+
+// identityProgram builds a full-range identity program at the given β.
+func identityProgram(t *testing.T, beta float64) *driver.Program {
+	t.Helper()
+	prog, err := driver.ProgramHierarchical(driver.DefaultConfig,
+		[]transform.Point{{X: 0, Y: 0}, {X: transform.Levels - 1, Y: transform.Levels - 1}}, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestZonedCCFLRefreshMatchesGlobal: a 1×1 bank through the zoned
+// refresh reproduces the legacy global refresh exactly — the lcd-layer
+// leg of the backend-equivalence anchor.
+func TestZonedCCFLRefreshMatchesGlobal(t *testing.T) {
+	img := frame(t)
+
+	legacyCfg := smallConfig()
+	legacy, err := New(legacyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zonedCfg := smallConfig()
+	zonedCfg.Backlight = backlight.DefaultCCFL()
+	zoned, err := New(zonedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prog := identityProgram(t, 0.7)
+	if err := legacy.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	bank, err := driver.NewBank(1, 1, []*driver.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zoned.LoadZonedPrograms(bank); err != nil {
+		t.Fatal(err)
+	}
+	if !zoned.Zoned() {
+		t.Fatal("bank loaded but display not zoned")
+	}
+
+	fl, err := legacy.ShowFrame(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := zoned.ShowFrame(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fl.Luminance.Equal(fz.Luminance) {
+		t.Error("zoned 1x1 luminance differs from legacy refresh")
+	}
+	//hebslint:allow floateq bit-identity is the contract under test
+	if fl.BacklightPower != fz.BacklightPower || fl.PanelPower != fz.PanelPower ||
+		fl.AddressingPower != fz.AddressingPower || fl.TotalPower != fz.TotalPower {
+		t.Errorf("zoned 1x1 power diverged: legacy (%v,%v,%v,%v) zoned (%v,%v,%v,%v)",
+			fl.BacklightPower, fl.PanelPower, fl.AddressingPower, fl.TotalPower,
+			fz.BacklightPower, fz.PanelPower, fz.AddressingPower, fz.TotalPower)
+	}
+	if len(fz.ZoneBetas) != 1 || fz.ZoneBetas[0] != 0.7 {
+		t.Errorf("zone betas %v, want [0.7]", fz.ZoneBetas)
+	}
+}
+
+// TestZonedLEDDimmingReducesPower: dimming one zone of an LED bank
+// lowers the backlight draw below the uniform full-drive bank, and the
+// dimmed zone's luminance drops while the others hold.
+func TestZonedLEDDimmingReducesPower(t *testing.T) {
+	led, err := backlight.NewLED(backlight.LEDOptions{Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Backlight = led
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := frame(t)
+
+	full := identityProgram(t, 1)
+	uniform, err := driver.NewBank(2, 2, []*driver.Program{full, full, full, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadZonedPrograms(uniform); err != nil {
+		t.Fatal(err)
+	}
+	bright, err := d.ShowFrame(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dim := identityProgram(t, 0.25)
+	mixed, err := driver.NewBank(2, 2, []*driver.Program{dim, full, full, full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadZonedPrograms(mixed); err != nil {
+		t.Fatal(err)
+	}
+	dimmed, err := d.ShowFrame(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if dimmed.BacklightPower >= bright.BacklightPower {
+		t.Errorf("dimming a zone did not reduce backlight power: %v >= %v",
+			dimmed.BacklightPower, bright.BacklightPower)
+	}
+	if math.Abs(d.Beta()-(0.25+3)/4) > 1e-12 {
+		t.Errorf("mean beta %v, want %v", d.Beta(), (0.25+3)/4)
+	}
+	// Zone 0 (top-left) got darker; zone 3 (bottom-right) is untouched.
+	w, h := cfg.Width, cfg.Height
+	sumRect := func(l *Frame, x0, y0, x1, y1 int) int {
+		s := 0
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				s += int(l.Luminance.Pix[y*w+x])
+			}
+		}
+		return s
+	}
+	if a, b := sumRect(dimmed, 0, 0, w/2, h/2), sumRect(bright, 0, 0, w/2, h/2); a >= b {
+		t.Errorf("dimmed zone luminance %d not below bright %d", a, b)
+	}
+	if a, b := sumRect(dimmed, w/2, h/2, w, h), sumRect(bright, w/2, h/2, w, h); a != b {
+		t.Errorf("untouched zone luminance changed: %d != %d", a, b)
+	}
+}
+
+// TestLoadZonedProgramsValidation covers the bank/backend contract.
+func TestLoadZonedProgramsValidation(t *testing.T) {
+	prog := identityProgram(t, 1)
+
+	// Bank construction rejects bad shapes.
+	if _, err := driver.NewBank(0, 2, nil); err == nil {
+		t.Error("zero-row bank accepted")
+	}
+	if _, err := driver.NewBank(2, 2, []*driver.Program{prog, prog}); err == nil {
+		t.Error("short program list accepted")
+	}
+	if _, err := driver.NewBank(1, 2, []*driver.Program{prog, nil}); err == nil {
+		t.Error("nil zone program accepted")
+	}
+	other := *prog
+	other.Config.Vdd = 5
+	if _, err := driver.NewBank(1, 2, []*driver.Program{prog, &other}); err == nil {
+		t.Error("mixed ladder configs accepted")
+	}
+
+	// A display without a backend refuses banks; grids must match.
+	plain, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := driver.NewBank(1, 1, []*driver.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.LoadZonedPrograms(bank); err == nil {
+		t.Error("bank accepted without a Backlight backend")
+	}
+	led, err := backlight.NewLED(backlight.LEDOptions{Rows: 2, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Backlight = led
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadZonedPrograms(bank); err == nil {
+		t.Error("1x1 bank accepted by a 2x2 backend")
+	}
+	// LoadProgram drops back to the global path.
+	four, err := driver.NewBank(2, 2, []*driver.Program{prog, prog, prog, prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadZonedPrograms(four); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if d.Zoned() {
+		t.Error("LoadProgram left the display zoned")
+	}
+}

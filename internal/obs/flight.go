@@ -40,6 +40,12 @@ type FrameRecord struct {
 	// TileChangeRatio is changed/total tiles of the delta analysis for
 	// this frame (0 when delta analysis is off or nothing changed).
 	TileChangeRatio float64 `json:"tile_change_ratio,omitempty"`
+	// Zoned-walk telemetry: zone count of the backlight backend (0 on
+	// the classic global walk), max−min of the applied per-zone β
+	// field, and the spatial-smoothing sweeps the frame needed.
+	Zones          int     `json:"zones,omitempty"`
+	ZoneBetaSpread float64 `json:"zone_beta_spread,omitempty"`
+	SmoothIters    int     `json:"smooth_iters,omitempty"`
 	// Workers is the scheduler's resolved worker bound (1 = serial).
 	Workers int `json:"workers"`
 	// Seconds is the frame's Apply+measure wall time — the same

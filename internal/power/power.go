@@ -118,8 +118,28 @@ func (t TFTPanel) PowerOf(img *gray.Image) (float64, error) {
 		sx += x
 		sxx += x * x
 	}
-	n := float64(len(img.Pix))
-	return t.A*sxx/n + t.B*sx/n + t.C, nil
+	return t.PowerShare(sx, sxx, len(img.Pix), len(img.Pix))
+}
+
+// PowerShare returns the panel-power contribution of a pixel subset:
+// sx = Σx and sxx = Σx² accumulated over `pixels` pixels, normalized
+// against the panel's `total` pixel count. Summing the shares of a
+// partition of the panel yields the whole-panel mean, which is how the
+// zoned backlight backends charge each zone its exact slice of TFT
+// power. With the subset equal to the whole panel (pixels == total)
+// the quadratic and linear terms are the legacy PowerOf expression
+// verbatim and the constant term is scaled by exactly 1.0, so the
+// result is bit-identical to the pre-refactor code — the regression
+// anchor the backend-equivalence suite relies on.
+func (t TFTPanel) PowerShare(sx, sxx float64, pixels, total int) (float64, error) {
+	if total <= 0 || pixels < 0 || pixels > total {
+		return 0, fmt.Errorf("power: pixel subset %d of %d", pixels, total)
+	}
+	if math.IsNaN(sx) || math.IsNaN(sxx) || sx < 0 || sxx < 0 {
+		return 0, fmt.Errorf("power: bad moment sums (%v, %v)", sx, sxx)
+	}
+	n := float64(total)
+	return t.A*sxx/n + t.B*sx/n + t.C*(float64(pixels)/n), nil
 }
 
 // Subsystem combines the backlight and panel into the total LCD power

@@ -15,6 +15,7 @@ import (
 	"math"
 	"time"
 
+	"hebs/internal/backlight"
 	"hebs/internal/core"
 	"hebs/internal/gray"
 	"hebs/internal/histogram"
@@ -137,6 +138,16 @@ type Policy struct {
 	// TileSize is the delta-analysis tile edge in pixels (0 selects
 	// histogram.DefaultTileSize). Ignored unless DeltaAnalysis is set.
 	TileSize int
+	// Backend selects the backlight architecture. nil and the global
+	// CCFL backend walk the classic per-frame pipeline (the CCFL
+	// backend resolves Options.Subsystem from its lamp model, keeping
+	// outputs byte-identical to the nil default); a zoned backend (LED
+	// array) or a non-subsystem power model (OLED) routes the clip
+	// through the per-zone walk, where MaxStep/CutThreshold govern each
+	// zone's β track and DeltaAnalysis replays certified-identical
+	// frames. ReuseThreshold (the histogram-estimator reuse) applies
+	// only to the classic walk.
+	Backend backlight.Backend
 	// HEBS options applied per frame. DynamicRange/budget semantics as
 	// in core.Options.
 	Options core.Options
@@ -172,6 +183,12 @@ type FrameResult struct {
 	SavingPercent float64
 	// Distortion is the achieved distortion at the applied range.
 	Distortion float64
+	// Zones is the backlight zone count that produced this frame (0 on
+	// the classic global walk). On the zoned walk TargetBeta and Beta
+	// are the zone means and Range is the largest zone range.
+	Zones int
+	// ZoneBetaSpread is max−min of the applied per-zone β field.
+	ZoneBetaSpread float64
 }
 
 // Result is a processed sequence.
@@ -209,6 +226,19 @@ func ProcessContext(ctx context.Context, seq *Sequence, pol Policy) (*Result, er
 	}
 	if pol.MaxStep < 0 || pol.CutThreshold < 0 || pol.ReuseThreshold < 0 || pol.TileSize < 0 {
 		return nil, fmt.Errorf("video: negative policy parameters %+v", pol)
+	}
+	if pol.Backend != nil {
+		if c, ok := pol.Backend.(*backlight.CCFL); ok {
+			// The global lamp walks the classic pipeline: resolve the
+			// power subsystem from the backend and fall through, so the
+			// outputs stay byte-identical to a run without a backend.
+			if pol.Options.Subsystem == nil {
+				sub := c.Subsystem()
+				pol.Options.Subsystem = &sub
+			}
+		} else {
+			return processZonedClip(ctx, seq, pol)
+		}
 	}
 	if len(seq.Frames) > 1 {
 		if w := policyWorkers(pol.Workers, len(seq.Frames)); w > 1 {
