@@ -446,8 +446,10 @@ func perfWorkerSet(workers int) []int {
 // runPerf measures the headline paths — the 16-frame steady-state clip
 // through the video scheduler (with and without incremental delta
 // analysis), a mostly-static "talking head" clip exercising the partial
-// re-bin path, and the single-image exact range search — at each worker
-// count, via testing.Benchmark so iteration counts self-calibrate. The
+// re-bin path, the zoned walk on steady and mostly-static clips (the
+// per-zone fast path's full-replay and unchanged-zone-skip regimes),
+// and the single-image exact range search — at each worker count, via
+// testing.Benchmark so iteration counts self-calibrate. The
 // records are the stable schema consumed by cmd/hebsbenchcmp and
 // checked into BENCH_pipeline.json; mb_per_clip is the heap allocated
 // per operation (one clip / one image) in MB.
@@ -554,6 +556,20 @@ func runPerf(ctx context.Context, workers int, delta bool, tileSize int) ([]perf
 		zpol.Backend = led
 		if err := record("video/zoned16", w, func() error {
 			_, err := video.ProcessContext(ctx, seq, zpol)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		// The zoned fast path's unchanged-zone win: the talking-head
+		// clip through the same 4×4 array with delta analysis on. The
+		// animated mouth patch keeps the whole-frame replay from ever
+		// firing, so what this record tracks is the per-zone skip — the
+		// untouched zones replay their certified programs every frame
+		// while only the patch's zones re-analyze.
+		zspol := zpol
+		zspol.DeltaAnalysis = true
+		if err := record("video/zonedstatic16", w, func() error {
+			_, err := video.ProcessContext(ctx, talkSeq, zspol)
 			return err
 		}); err != nil {
 			return nil, err

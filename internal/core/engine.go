@@ -66,16 +66,16 @@ func validateOptions(opts Options) error {
 	return nil
 }
 
-// DefaultPlanCacheSize is the plan-LRU capacity NewEngine uses when
-// EngineOptions.PlanCacheSize is 0. A handful of entries covers the
-// common temporal locality (static video scenes, repeated stills).
-const DefaultPlanCacheSize = 8
-
 // EngineOptions configures a new Engine.
 type EngineOptions struct {
-	// PlanCacheSize is the capacity of the plan LRU: 0 selects
-	// DefaultPlanCacheSize, a negative value disables caching (every
-	// PlanFor recomputes, emitting the full equalize/plc span set).
+	// PlanCacheSize selects the engine's plan-cache tier. 0 (the
+	// default) joins the process-wide sharded cache — hash-striped
+	// over planCacheShards independently locked LRU stripes and shared
+	// across zones, engines and tenants, with the same exact-match
+	// verification as ever. A positive value gives this engine a
+	// private LRU of that capacity, isolated from process-wide warm
+	// state. A negative value disables caching (every PlanFor
+	// recomputes, emitting the full equalize/plc span set).
 	PlanCacheSize int
 
 	// Workers bounds intra-frame parallelism: sharded histogram
@@ -95,7 +95,11 @@ type EngineOptions struct {
 // histogram hash. An Engine is safe for concurrent use; the zero
 // value is not valid — use NewEngine.
 type Engine struct {
-	planCache *planCache
+	// Exactly one of planShared/planCache is non-nil when caching is
+	// enabled: the process-wide sharded tier (the default) or a
+	// private per-engine LRU (PlanCacheSize > 0).
+	planShared *planShards
+	planCache  *planCache
 
 	// workers is the resolved EngineOptions.Workers: >= 1, where 1
 	// means every stage runs serially.
@@ -118,13 +122,11 @@ type Engine struct {
 // NewEngine returns an Engine with the given options.
 func NewEngine(opts EngineOptions) *Engine {
 	e := &Engine{workers: resolveWorkers(opts.Workers)}
-	size := opts.PlanCacheSize
-	if size == 0 {
-		size = DefaultPlanCacheSize
-	}
-	if size > 0 {
+	switch size := opts.PlanCacheSize; {
+	case size == 0:
+		e.planShared = globalPlanCache
+	case size > 0:
 		e.planCache = &planCache{cap: size}
-		gPlanCacheCapacity.Set(float64(size))
 	}
 	return e
 }
@@ -312,91 +314,6 @@ func (r *ColorResult) Release() {
 	r.Result.Release()
 }
 
-// planCache is a small exact-match LRU of recent Plans. The key is an
-// FNV-1a hash over the histogram bins plus the operating point; on a
-// hash hit the stored bins are compared in full, so a reused plan is
-// guaranteed byte-identical to a recomputed one (the "quantization"
-// of the histogram key is the identity — anything coarser would trade
-// output equality for hit rate).
-type planCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries []*planEntry // LRU order: most recently used last
-}
-
-type planEntry struct {
-	hash     uint64
-	bins     [histogram.Levels]int
-	n        int
-	r        int
-	segments int
-	eq       Equalizer
-	clipBits uint64
-	drv      *driver.Config
-	plan     *Plan
-}
-
-// planHash is FNV-1a over the bins and the operating point. The driver
-// config is compared by pointer identity at lookup and not hashed.
-func planHash(h *histogram.Histogram, r, segments int, eq Equalizer, clipBits uint64) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	x := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			x ^= v & 0xff
-			x *= prime64
-			v >>= 8
-		}
-	}
-	for _, c := range h.Bins {
-		mix(uint64(c))
-	}
-	mix(uint64(h.N))
-	mix(uint64(r))
-	mix(uint64(segments))
-	mix(uint64(int64(eq)))
-	mix(clipBits)
-	return x
-}
-
-func (c *planCache) lookup(hash uint64, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipBits uint64) *Plan {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i := len(c.entries) - 1; i >= 0; i-- {
-		e := c.entries[i]
-		if e.hash != hash || e.n != h.N || e.r != r || e.segments != segments ||
-			e.eq != eq || e.clipBits != clipBits || e.drv != drv {
-			continue
-		}
-		if e.bins != h.Bins {
-			continue // hash collision
-		}
-		copy(c.entries[i:], c.entries[i+1:])
-		c.entries[len(c.entries)-1] = e
-		return e.plan
-	}
-	return nil
-}
-
-func (c *planCache) store(hash uint64, h *histogram.Histogram, r, segments int, drv *driver.Config, eq Equalizer, clipBits uint64, plan *Plan) {
-	e := &planEntry{
-		hash: hash, bins: h.Bins, n: h.N,
-		r: r, segments: segments, eq: eq, clipBits: clipBits, drv: drv,
-		plan: plan,
-	}
-	c.mu.Lock()
-	if len(c.entries) >= c.cap {
-		n := copy(c.entries, c.entries[1:])
-		c.entries = c.entries[:n]
-	}
-	c.entries = append(c.entries, e)
-	gPlanCacheEntries.Set(float64(len(c.entries)))
-	c.mu.Unlock()
-}
-
 // Analysis is the output of the Analyze stage: the frame's histogram
 // (pool-owned — call Release when done) and the chosen operating
 // point of step 1.
@@ -473,11 +390,22 @@ func (e *Engine) rangeReductionDistortion(img *gray.Image, r int, metric chart.M
 // delegates to the speculative parallel search, which probes the
 // identical candidate sequence.
 func (e *Engine) minRangeExact(ctx context.Context, img *gray.Image, maxDistortion float64, metric chart.Metric) (r int, predicted float64, err error) {
+	return e.minRangeExactInto(ctx, img, maxDistortion, metric, nil)
+}
+
+// minRangeExactInto is minRangeExact with an optional caller-provided
+// probe scratch buffer (img's geometry). The zoned fast path passes
+// each zone slot's persistent buffer so per-zone searches stop cycling
+// the engine pool between zone and frame geometries; nil keeps the
+// pooled behavior.
+func (e *Engine) minRangeExactInto(ctx context.Context, img *gray.Image, maxDistortion float64, metric chart.Metric, scratch *gray.Image) (r int, predicted float64, err error) {
 	if e.workers > 1 && len(img.Pix) >= minSearchPixels {
 		return e.minRangeExactSpec(ctx, img, maxDistortion, metric)
 	}
-	scratch := e.getGray(img.W, img.H)
-	defer e.putGray(scratch)
+	if scratch == nil {
+		scratch = e.getGray(img.W, img.H)
+		defer e.putGray(scratch)
+	}
 	lo, hi := 2, transform.Levels-1
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -505,6 +433,16 @@ func (e *Engine) minRangeExact(ctx context.Context, img *gray.Image, maxDistorti
 func (e *Engine) selectRange(ctx context.Context, img *gray.Image, opts Options) (r int, predicted float64, err error) {
 	if opts.ExactSearch && opts.DynamicRange == 0 && opts.MaxDistortionPercent > 0 {
 		return e.minRangeExact(ctx, img, opts.MaxDistortionPercent, opts.Metric)
+	}
+	return selectRange(img, opts)
+}
+
+// selectRangeZone is selectRange with a caller-provided scratch buffer
+// for the exact-search probes (identical decisions; see
+// minRangeExactInto).
+func (e *Engine) selectRangeZone(ctx context.Context, img *gray.Image, opts Options, scratch *gray.Image) (r int, predicted float64, err error) {
+	if opts.ExactSearch && opts.DynamicRange == 0 && opts.MaxDistortionPercent > 0 {
+		return e.minRangeExactInto(ctx, img, opts.MaxDistortionPercent, opts.Metric, scratch)
 	}
 	return selectRange(img, opts)
 }
@@ -577,9 +515,15 @@ func (e *Engine) planFor(ctx context.Context, parent *obs.Span, h *histogram.His
 	}
 	var hash uint64
 	clipBits := math.Float64bits(clipFactor)
-	if e.planCache != nil {
+	if e.planShared != nil || e.planCache != nil {
 		hash = planHash(h, r, segments, eq, clipBits)
-		if plan := e.planCache.lookup(hash, h, r, segments, drv, eq, clipBits); plan != nil {
+		var plan *Plan
+		if e.planShared != nil {
+			plan = e.planShared.lookup(hash, h, r, segments, drv, eq, clipBits)
+		} else {
+			plan = e.planCache.lookup(hash, h, r, segments, drv, eq, clipBits)
+		}
+		if plan != nil {
 			mPlanCacheHits.Inc()
 			parent.SetBool("plan_cached", true)
 			return plan, true, nil
@@ -590,7 +534,10 @@ func (e *Engine) planFor(ctx context.Context, parent *obs.Span, h *histogram.His
 	if err != nil {
 		return nil, false, err
 	}
-	if e.planCache != nil {
+	switch {
+	case e.planShared != nil:
+		e.planShared.store(hash, h, r, segments, drv, eq, clipBits, plan)
+	case e.planCache != nil:
 		e.planCache.store(hash, h, r, segments, drv, eq, clipBits, plan)
 	}
 	return plan, false, nil

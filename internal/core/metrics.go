@@ -66,11 +66,19 @@ var (
 	// Zoned-pipeline telemetry: run counter, last run's zone count and
 	// applied-β spread (the local-dimming win lives in the spread), the
 	// smoothing sweep distribution and the zoned power outcome.
-	mZonedRuns       = obs.NewCounter("core.zoned.runs_total")
-	mZonedSmoothDist = obs.NewHistogram("core.zoned.smooth_sweeps", obs.LinearBuckets(0, 1, 8))
-	gZonedZones      = obs.NewGauge("core.zoned.zones")
-	gZonedBetaSpread = obs.NewGauge("core.zoned.beta_spread")
-	gZonedPowerAfter = obs.NewGauge("core.zoned.power_after_w")
+	mZonedRuns = obs.NewCounter("core.zoned.runs_total")
+	// Zoned fast-path telemetry: per-zone analysis outcomes (a skip is
+	// a byte-identical zone that kept its histogram and range, a rebin
+	// a changed zone that recomputed them), phase-C measurement replays,
+	// and whole-frame distortion replays (every zone replayed).
+	mZonedZoneSkips    = obs.NewCounter("core.zoned.zone_skips_total")
+	mZonedZoneRebins   = obs.NewCounter("core.zoned.zone_rebins_total")
+	mZonedZoneReplays  = obs.NewCounter("core.zoned.zone_replays_total")
+	mZonedFrameReplays = obs.NewCounter("core.zoned.frame_replays_total")
+	mZonedSmoothDist   = obs.NewHistogram("core.zoned.smooth_sweeps", obs.LinearBuckets(0, 1, 8))
+	gZonedZones        = obs.NewGauge("core.zoned.zones")
+	gZonedBetaSpread   = obs.NewGauge("core.zoned.beta_spread")
+	gZonedPowerAfter   = obs.NewGauge("core.zoned.power_after_w")
 
 	// Last-run operating point, for quick expvar inspection.
 	gLastRange      = obs.NewGauge("core.last_range")

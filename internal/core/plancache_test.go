@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"hebs/internal/histogram"
+)
+
+// histWithSeed builds a deterministic histogram distinct per seed.
+func histWithSeed(seed int) *histogram.Histogram {
+	h := &histogram.Histogram{}
+	for i := range h.Bins {
+		h.Bins[i] = (i*31 + seed*97) % 251
+		h.N += h.Bins[i]
+	}
+	return h
+}
+
+// TestPlanShardsExactMatch: a stored plan is returned only for the
+// exact (bins, N, range, segments, equalizer, clip, driver) key — any
+// deviation is a miss, never a wrong plan.
+func TestPlanShardsExactMatch(t *testing.T) {
+	s := newPlanShards()
+	h := histWithSeed(1)
+	plan := &Plan{Range: 200}
+	hash := planHash(h, 200, 8, EqualizerGHE, 0)
+	s.store(hash, h, 200, 8, nil, EqualizerGHE, 0, plan)
+
+	if got := s.lookup(hash, h, 200, 8, nil, EqualizerGHE, 0); got != plan {
+		t.Fatal("exact key did not hit")
+	}
+	if got := s.lookup(planHash(h, 201, 8, EqualizerGHE, 0), h, 201, 8, nil, EqualizerGHE, 0); got != nil {
+		t.Error("different range hit")
+	}
+	if got := s.lookup(planHash(h, 200, 9, EqualizerGHE, 0), h, 200, 9, nil, EqualizerGHE, 0); got != nil {
+		t.Error("different segment budget hit")
+	}
+	h2 := histWithSeed(2)
+	if got := s.lookup(planHash(h2, 200, 8, EqualizerGHE, 0), h2, 200, 8, nil, EqualizerGHE, 0); got != nil {
+		t.Error("different histogram hit")
+	}
+	// Same hash, different bins (forced collision): the full-bins
+	// compare must reject it.
+	h3 := histWithSeed(1)
+	h3.Bins[7]++
+	h3.Bins[9]--
+	if got := s.lookup(hash, h3, 200, 8, nil, EqualizerGHE, 0); got != nil {
+		t.Error("forced hash collision returned a foreign plan")
+	}
+}
+
+// TestPlanShardsEvictionAndMetrics: overfilling one stripe evicts LRU
+// entries, counts evictions on that shard's counter, and keeps the
+// global entries gauge consistent.
+func TestPlanShardsEvictionAndMetrics(t *testing.T) {
+	s := newPlanShards()
+	sh := &s.shards[3]
+	hits0, misses0, evict0 := sh.hits.Value(), sh.misses.Value(), sh.evictions.Value()
+
+	// Craft hashes that land on shard 3 (top 4 bits = 3) while keeping
+	// per-entry keys distinct via the range argument.
+	const shardHash = uint64(3) << 60
+	h := histWithSeed(5)
+	for i := 0; i < planShardCap+4; i++ {
+		s.store(shardHash, h, 2+i, 8, nil, EqualizerGHE, 0, &Plan{Range: 2 + i})
+	}
+	if got := len(sh.entries); got != planShardCap {
+		t.Fatalf("shard holds %d entries, want cap %d", got, planShardCap)
+	}
+	if got := sh.evictions.Value() - evict0; got != 4 {
+		t.Errorf("evictions %d, want 4", got)
+	}
+	// The 4 oldest entries are gone; the newest still hit.
+	if got := s.lookup(shardHash, h, 2, 8, nil, EqualizerGHE, 0); got != nil {
+		t.Error("evicted entry still served")
+	}
+	if got := s.lookup(shardHash, h, 2+planShardCap+3, 8, nil, EqualizerGHE, 0); got == nil {
+		t.Error("newest entry missing")
+	}
+	if got := sh.hits.Value() - hits0; got != 1 {
+		t.Errorf("shard hits %d, want 1", got)
+	}
+	if got := sh.misses.Value() - misses0; got != 1 {
+		t.Errorf("shard misses %d, want 1", got)
+	}
+	if got := s.entries.Load(); got != planShardCap {
+		t.Errorf("entries gauge %d, want %d", got, planShardCap)
+	}
+}
+
+// TestPlanShardsConcurrent hammers every stripe from parallel
+// goroutines — the -race leg of the sharded-cache acceptance.
+func TestPlanShardsConcurrent(t *testing.T) {
+	s := newPlanShards()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := histWithSeed(i % 23)
+				r := 2 + (i+w)%250
+				hash := planHash(h, r, 8, EqualizerGHE, 0)
+				if s.lookup(hash, h, r, 8, nil, EqualizerGHE, 0) == nil {
+					s.store(hash, h, r, 8, nil, EqualizerGHE, 0, &Plan{Range: r})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestEngineCacheTiers: PlanCacheSize selects the tier — 0 the shared
+// sharded cache (plans flow between engines), >0 a private LRU
+// (isolated), <0 disabled.
+func TestEngineCacheTiers(t *testing.T) {
+	shared1 := NewEngine(EngineOptions{})
+	shared2 := NewEngine(EngineOptions{})
+	if shared1.planShared != globalPlanCache || shared2.planShared != globalPlanCache {
+		t.Fatal("default engines not on the shared tier")
+	}
+	private := NewEngine(EngineOptions{PlanCacheSize: 4})
+	if private.planShared != nil || private.planCache == nil || private.planCache.cap != 4 {
+		t.Fatal("positive PlanCacheSize did not select a private LRU")
+	}
+	disabled := NewEngine(EngineOptions{PlanCacheSize: -1})
+	if disabled.planShared != nil || disabled.planCache != nil {
+		t.Fatal("negative PlanCacheSize did not disable caching")
+	}
+}

@@ -3,12 +3,20 @@
 // and Λ — per-zone GHE beats the single global β whenever luminance is
 // unevenly distributed, because a dark zone can dim far below the
 // global optimum. The zone grid fans out on internal/parallel, zone
-// plans share the engine's plan LRU (a zone histogram is just a
-// histogram), and a raise-only spatial relaxation (backlight.Smooth)
-// bounds the β gradient across zone boundaries to suppress halo and
-// blocking artifacts. Driven by a 1×1 CCFL backend the path degenerates
-// to exactly the classic pipeline — byte-identical frames, bit-identical
-// numbers — which is what TestBackendEquivalence pins.
+// plans share the process-wide sharded plan cache (a zone histogram is
+// just a histogram), and a raise-only spatial relaxation
+// (backlight.Smooth) bounds the β gradient across zone boundaries to
+// suppress halo and blocking artifacts. Driven by a 1×1 CCFL backend
+// the path degenerates to exactly the classic pipeline — byte-identical
+// frames, bit-identical numbers — which is what TestBackendEquivalence
+// pins.
+//
+// Two walks implement the path. The fast walk (zonedstate.go) runs by
+// default: pooled cross-call per-zone state lets byte-identical zones
+// skip re-analysis and replay their certified measurements. The
+// reference walk below recomputes everything from scratch each call;
+// it is kept behind SetZonedFastPath(false) as the equivalence oracle
+// the fast walk is pinned against (TestZonedFastPathEquivalence).
 package core
 
 import (
@@ -75,7 +83,10 @@ type ZoneResult struct {
 	// Distortion is the measured distortion of the zone's Λ on the
 	// zone's own pixels.
 	Distortion float64
-	// PlanCached reports a plan-LRU hit for this zone.
+	// PlanCached reports the zone's plan was reused rather than solved:
+	// a plan-cache hit, or (on the fast walk) a certified replay of the
+	// unchanged zone's memoized plan. Run-history-dependent — identical
+	// inputs can differ in this field depending on what ran before.
 	PlanCached bool
 	// Power is the zone's power at the applied β displaying the
 	// transformed zone content.
@@ -124,8 +135,9 @@ func (r *ZonedResult) Release() {
 	}
 }
 
-// zoneScratch is the per-zone intermediate state between the analysis
-// and apply fan-outs.
+// zoneScratch is the reference walk's per-zone intermediate state
+// between the analysis and apply fan-outs (the fast walk keeps its
+// persistent equivalent in zoneSlot).
 type zoneScratch struct {
 	x0, y0, x1, y1 int
 	img            *gray.Image          // pooled copy of the zone's pixels
@@ -135,9 +147,10 @@ type zoneScratch struct {
 
 // applyLUTRect remaps src's [x0,x1)×[y0,y1) rectangle through lut into
 // the same rectangle of the full-frame dst — the per-zone Apply hot
-// path. Rows are contiguous subslices, so the inner loop is the same
-// table remap as the sharded kernels and a full-frame rectangle
-// produces bytes identical to LUT.ApplyIntoShards.
+// path. Rows are contiguous subslices fed to the word-packed LUT
+// kernel (8 pixels per memory transaction, byte-identical to the
+// scalar remap on every input), so a full-frame rectangle produces
+// bytes identical to LUT.ApplyIntoShards and LUT.ApplyIntoPacked.
 //
 //hebs:noalloc
 func applyLUTRect(lut *transform.LUT, src, dst *gray.Image, x0, y0, x1, y1 int) error {
@@ -153,9 +166,7 @@ func applyLUTRect(lut *transform.LUT, src, dst *gray.Image, x0, y0, x1, y1 int) 
 	for y := y0; y < y1; y++ {
 		row := src.Pix[y*src.W+x0 : y*src.W+x1]
 		out := dst.Pix[y*dst.W+x0 : y*dst.W+x1]
-		for i, p := range row {
-			out[i] = lut[p]
-		}
+		gray.ApplyLUTPacked(out, row, (*[transform.Levels]uint8)(lut))
 	}
 	return nil
 }
@@ -184,7 +195,7 @@ func copyRect(src, dst *gray.Image, x0, y0 int) {
 //
 // With a 1×1 global backend the run degenerates to the classic
 // pipeline: one zone covering the frame, the same range selection,
-// plan (shared LRU) and apply kernels — byte-identical Transformed
+// plan (shared cache) and apply kernels — byte-identical Transformed
 // pixels, bit-identical distortion and (for the CCFL backend)
 // bit-identical power numbers.
 func (e *Engine) ProcessZoned(ctx context.Context, img *gray.Image, opts Options, b backlight.Backend) (*ZonedResult, error) {
@@ -232,6 +243,122 @@ func (e *Engine) ProcessZoned(ctx context.Context, img *gray.Image, opts Options
 	sp.SetString("backend", b.Name())
 	sp.SetInt("zones", zones)
 
+	if zonedFastPath.Load() {
+		return e.processZonedFast(ctx, sp, img, opts, b, g, segments, metric)
+	}
+	return e.processZonedRef(ctx, sp, img, opts, b, g, segments, metric)
+}
+
+// betaField is phase B — the serial β-field pass both walks share:
+// per-zone targets from the analyzed ranges rs, floors (the video
+// governor's slew limits), the spatial relaxation, then the backend's
+// drive grid. targets, betas and rngs are filled in place (each of
+// length len(rs)). Returns the relaxation sweep count and the resolved
+// gradient bound.
+func betaField(opts Options, b backlight.Backend, g backlight.Grid, rs []int, targets, betas []float64, rngs []int) (sweeps int, maxGrad float64, err error) {
+	for k := range rs {
+		beta, err := power.BetaForRange(rs[k], transform.Levels)
+		if err != nil {
+			return 0, 0, err
+		}
+		targets[k] = beta
+		betas[k] = beta
+	}
+	for k, f := range opts.ZoneBetaFloor {
+		if f > betas[k] {
+			betas[k] = f
+		}
+	}
+	maxGrad = opts.ZoneMaxGradient
+	if maxGrad == 0 {
+		maxGrad = DefaultZoneMaxGradient
+	}
+	sweeps, err = backlight.Smooth(betas, g, maxGrad)
+	if err != nil {
+		return 0, 0, err
+	}
+	for k := range betas {
+		q := b.QuantizeBeta(betas[k])
+		if q < betas[k] || q > 1 || q != q {
+			return 0, 0, fmt.Errorf("core: backend %s quantized zone %d β %v to %v (must round up within [0,1])",
+				b.Name(), k, betas[k], q)
+		}
+		betas[k] = q
+		//hebslint:allow floateq an untouched zone keeps its analyzed range exactly (no β→R round trip)
+		if betas[k] == targets[k] {
+			rngs[k] = rs[k]
+			continue
+		}
+		rngs[k], err = power.RangeForBeta(betas[k], transform.Levels)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return sweeps, maxGrad, nil
+}
+
+// finalizeZoned is the shared tail of both walks: the serial reduction
+// in zone index order (so the sums are identical at every worker count
+// and, at 1×1, identical to the legacy Subsystem.Power accumulation),
+// the invariant checks and the run telemetry. res.Zones and befores
+// must be fully populated.
+func finalizeZoned(res *ZonedResult, befores []backlight.ZonePower, targets, betas []float64, g backlight.Grid, maxGrad float64, sweeps int, sp *obs.Span) {
+	res.BetaMin, res.BetaMax = betas[0], betas[0]
+	var sum float64
+	for k := range res.Zones {
+		res.PowerBefore += befores[k].Total()
+		res.PowerAfter += res.Zones[k].Power.Total()
+		sum += betas[k]
+		if betas[k] < res.BetaMin {
+			res.BetaMin = betas[k]
+		}
+		if betas[k] > res.BetaMax {
+			res.BetaMax = betas[k]
+		}
+	}
+	res.BetaMean = sum / float64(len(betas))
+	res.BetaSpread = res.BetaMax - res.BetaMin
+	res.PowerSavingPercent = 100 * (1 - res.PowerAfter/res.PowerBefore)
+
+	if invariant.Enabled {
+		for k := range betas {
+			invariant.AssertBeta("core: zone β", betas[k])
+			invariant.Assert(betas[k] >= targets[k],
+				"core: zone %d applied β %v below its own optimum %v", k, betas[k], targets[k])
+		}
+		if maxGrad > 0 {
+			// Quantization may re-open the smoothed gradient by at most
+			// one drive step.
+			step := 1.0 / float64(transform.Levels-1)
+			for k := range betas {
+				if k%g.Cols+1 < g.Cols {
+					invariant.Assert(betas[k]-betas[k+1] <= maxGrad+step+1e-9 && betas[k+1]-betas[k] <= maxGrad+step+1e-9,
+						"core: zone gradient |%v-%v| exceeds %v", betas[k], betas[k+1], maxGrad)
+				}
+				if k/g.Cols+1 < g.Rows {
+					invariant.Assert(betas[k]-betas[k+g.Cols] <= maxGrad+step+1e-9 && betas[k+g.Cols]-betas[k] <= maxGrad+step+1e-9,
+						"core: zone gradient |%v-%v| exceeds %v", betas[k], betas[k+g.Cols], maxGrad)
+				}
+			}
+		}
+	}
+
+	mZonedRuns.Inc()
+	gZonedZones.Set(float64(len(betas)))
+	gZonedBetaSpread.Set(res.BetaSpread)
+	gZonedPowerAfter.Set(res.PowerAfter)
+	mZonedSmoothDist.Observe(float64(sweeps))
+	sp.SetFloat("beta_spread", res.BetaSpread)
+	sp.SetInt("smooth_sweeps", sweeps)
+	sp.SetFloat("achieved_distortion_pct", res.AchievedDistortion)
+	sp.SetFloat("power_saving_pct", res.PowerSavingPercent)
+}
+
+// processZonedRef is the reference walk: every phase recomputed from
+// scratch on pooled per-call buffers. It is the oracle the fast walk's
+// equivalence suite runs against; keep its behavior frozen.
+func (e *Engine) processZonedRef(ctx context.Context, sp *obs.Span, img *gray.Image, opts Options, b backlight.Backend, g backlight.Grid, segments int, metric chart.Metric) (*ZonedResult, error) {
+	zones := g.Zones()
 	zs := make([]zoneScratch, zones)
 	releaseScratch := func() {
 		for k := range zs {
@@ -268,53 +395,21 @@ func (e *Engine) ProcessZoned(ctx context.Context, img *gray.Image, opts Options
 		return nil, err
 	}
 
-	// Phase B — the serial β-field pass: targets from the per-zone
-	// ranges, then floors (the video governor's slew limits), then the
-	// spatial relaxation, then the backend's drive grid.
+	// Phase B — the serial β-field pass.
+	rs := make([]int, zones)
+	for k := range zs {
+		rs[k] = zs[k].r
+	}
 	targets := make([]float64, zones)
 	betas := make([]float64, zones)
-	for k := range zs {
-		beta, err := power.BetaForRange(zs[k].r, transform.Levels)
-		if err != nil {
-			return nil, err
-		}
-		targets[k] = beta
-		betas[k] = beta
-	}
-	for k, f := range opts.ZoneBetaFloor {
-		if f > betas[k] {
-			betas[k] = f
-		}
-	}
-	maxGrad := opts.ZoneMaxGradient
-	if maxGrad == 0 {
-		maxGrad = DefaultZoneMaxGradient
-	}
-	sweeps, err := backlight.Smooth(betas, g, maxGrad)
+	rngs := make([]int, zones)
+	sweeps, maxGrad, err := betaField(opts, b, g, rs, targets, betas, rngs)
 	if err != nil {
 		return nil, err
 	}
-	rngs := make([]int, zones)
-	for k := range betas {
-		q := b.QuantizeBeta(betas[k])
-		if q < betas[k] || q > 1 || q != q {
-			return nil, fmt.Errorf("core: backend %s quantized zone %d β %v to %v (must round up within [0,1])",
-				b.Name(), k, betas[k], q)
-		}
-		betas[k] = q
-		//hebslint:allow floateq an untouched zone keeps its analyzed range exactly (no β→R round trip)
-		if betas[k] == targets[k] {
-			rngs[k] = zs[k].r
-			continue
-		}
-		rngs[k], err = power.RangeForBeta(betas[k], transform.Levels)
-		if err != nil {
-			return nil, err
-		}
-	}
 
 	// Phase C — per-zone Plan/Apply/measure, fanned out on the zone
-	// grid. Zone plans share the engine LRU; Λ and the reconstruction
+	// grid. Zone plans share the plan cache; Λ and the reconstruction
 	// are remapped rectangle-wise into full-frame pooled buffers.
 	out := e.getGray(img.W, img.H)
 	recon := e.getGray(img.W, img.H)
@@ -374,9 +469,6 @@ func (e *Engine) ProcessZoned(ctx context.Context, img *gray.Image, opts Options
 		return nil, err
 	}
 
-	// Serial reduction in zone index order, so the sums are identical
-	// at every worker count (and, at 1×1, identical to the legacy
-	// Subsystem.Power accumulation).
 	res := &ZonedResult{
 		Original:     img,
 		Transformed:  out,
@@ -391,54 +483,6 @@ func (e *Engine) ProcessZoned(ctx context.Context, img *gray.Image, opts Options
 		res.Release()
 		return nil, err
 	}
-	res.BetaMin, res.BetaMax = betas[0], betas[0]
-	var sum float64
-	for k := range results {
-		res.PowerBefore += befores[k].Total()
-		res.PowerAfter += results[k].Power.Total()
-		sum += betas[k]
-		if betas[k] < res.BetaMin {
-			res.BetaMin = betas[k]
-		}
-		if betas[k] > res.BetaMax {
-			res.BetaMax = betas[k]
-		}
-	}
-	res.BetaMean = sum / float64(zones)
-	res.BetaSpread = res.BetaMax - res.BetaMin
-	res.PowerSavingPercent = 100 * (1 - res.PowerAfter/res.PowerBefore)
-
-	if invariant.Enabled {
-		for k := range betas {
-			invariant.AssertBeta("core: zone β", betas[k])
-			invariant.Assert(betas[k] >= targets[k],
-				"core: zone %d applied β %v below its own optimum %v", k, betas[k], targets[k])
-		}
-		if maxGrad > 0 {
-			// Quantization may re-open the smoothed gradient by at most
-			// one drive step.
-			step := 1.0 / float64(transform.Levels-1)
-			for k := range betas {
-				if k%g.Cols+1 < g.Cols {
-					invariant.Assert(betas[k]-betas[k+1] <= maxGrad+step+1e-9 && betas[k+1]-betas[k] <= maxGrad+step+1e-9,
-						"core: zone gradient |%v-%v| exceeds %v", betas[k], betas[k+1], maxGrad)
-				}
-				if k/g.Cols+1 < g.Rows {
-					invariant.Assert(betas[k]-betas[k+g.Cols] <= maxGrad+step+1e-9 && betas[k+g.Cols]-betas[k] <= maxGrad+step+1e-9,
-						"core: zone gradient |%v-%v| exceeds %v", betas[k], betas[k+g.Cols], maxGrad)
-				}
-			}
-		}
-	}
-
-	mZonedRuns.Inc()
-	gZonedZones.Set(float64(zones))
-	gZonedBetaSpread.Set(res.BetaSpread)
-	gZonedPowerAfter.Set(res.PowerAfter)
-	mZonedSmoothDist.Observe(float64(sweeps))
-	sp.SetFloat("beta_spread", res.BetaSpread)
-	sp.SetInt("smooth_sweeps", sweeps)
-	sp.SetFloat("achieved_distortion_pct", res.AchievedDistortion)
-	sp.SetFloat("power_saving_pct", res.PowerSavingPercent)
+	finalizeZoned(res, befores, targets, betas, g, maxGrad, sweeps, sp)
 	return res, nil
 }

@@ -1,0 +1,423 @@
+// Pooled cross-call state for the zoned fast path. The reference walk
+// recomputes every zone from scratch each frame; for video that is
+// almost always wasted work — local-dimming content changes a few
+// zones per frame while the rest are byte-identical. The fast walk
+// keeps, per (geometry, option-key) state object in a sync.Pool:
+//
+//   - a reference copy of each zone's pixels, its histogram and its
+//     analyzed admissible range. A zone whose current pixels compare
+//     byte-equal to the reference copy skips the copy, the range
+//     search and the re-bin outright. The zone grid IS the delta tile
+//     grid here — one tile per zone, exactly aligned, so a zone's
+//     unchanged-ness certifies its whole analysis.
+//   - a measurement memo: the zone's plan, distortion, and both power
+//     readings, keyed by the memoized (range, β) pair. When the pixels
+//     are unchanged AND phase B lands on the same operating point, the
+//     zone replays its entire phase C — the plan is definitionally the
+//     one planFor would return (same histogram, same range, same
+//     options), so the replay is certified bit-identical, the same
+//     trust model as the plan cache's exact-match contract.
+//   - a frame-level distortion memo: when every zone replays, the
+//     whole-frame reconstruction is identical too, so the frame-wide
+//     metric is replayed and the reconstruction buffer never
+//     materializes.
+//
+// Certification is always by full byte comparison against state-owned
+// buffers — never a checksum, never engine-pooled memory that another
+// call may have recycled. The state seals only after a walk completes
+// (capture-and-invalidate, like video's deltaState): a cancelled or
+// failed run leaves the state unsealed and the next acquire discards
+// every memo.
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"hebs/internal/backlight"
+	"hebs/internal/chart"
+	"hebs/internal/driver"
+	"hebs/internal/gray"
+	"hebs/internal/histogram"
+	"hebs/internal/obs"
+	"hebs/internal/parallel"
+)
+
+// zonedFastPath gates the pooled-state walk (on by default).
+var zonedFastPath atomic.Bool
+
+func init() { zonedFastPath.Store(true) }
+
+// SetZonedFastPath enables or disables the zoned fast path and returns
+// the previous setting. The slow setting routes ProcessZoned through
+// the from-scratch reference walk; it exists for the equivalence suite
+// and A/B benchmarking. Safe for concurrent use; toggling affects
+// subsequent ProcessZoned calls only.
+func SetZonedFastPath(on bool) bool { return zonedFastPath.Swap(on) }
+
+// zonedOptKey fingerprints every Options field and the backend
+// identity the memoized per-zone values depend on: the range search
+// (budget, mode, curve), the plan operating point (segments, driver,
+// equalizer, clip) and the power model (the backend itself, compared
+// by identity — all shipped backends are pointers). β-field inputs
+// (floors, gradient bound) are deliberately absent: phase B always
+// recomputes, and the measurement memo keys on its output (range, β)
+// instead.
+type zonedOptKey struct {
+	maxDist   float64
+	dynRange  int
+	exact     bool
+	worstCase bool
+	curve     *chart.Curve
+	segments  int
+	clipBits  uint64 // math.Float64bits(ClipFactor): comparable, NaN-proof
+	eq        Equalizer
+	drv       *driver.Config
+	backend   backlight.Backend
+}
+
+// zonedKeyFor builds the option key. ok is false when the options
+// cannot be fingerprinted — a custom Metric func (not comparable) or a
+// backend whose dynamic type is not comparable — in which case no memo
+// survives across calls.
+func zonedKeyFor(opts Options, segments int, b backlight.Backend) (key zonedOptKey, ok bool) {
+	key = zonedOptKey{
+		maxDist:   opts.MaxDistortionPercent,
+		dynRange:  opts.DynamicRange,
+		exact:     opts.ExactSearch,
+		worstCase: opts.WorstCase,
+		curve:     opts.Curve,
+		segments:  segments,
+		clipBits:  math.Float64bits(opts.ClipFactor),
+		eq:        opts.Equalizer,
+		drv:       opts.Driver,
+		backend:   b,
+	}
+	return key, opts.Metric == nil && reflect.TypeOf(b).Comparable()
+}
+
+// zoneSlot is one zone's persistent state across calls.
+type zoneSlot struct {
+	x0, y0, x1, y1 int
+	img            *gray.Image         // state-owned reference copy of the zone's pixels
+	scratch        *gray.Image         // state-owned zone-sized probe/recon scratch
+	hist           histogram.Histogram // histogram of img
+	r              int                 // analyzed admissible range of img
+	valid          bool                // img/hist/r describe a sealed run's pixels
+
+	// Measurement memo — the zone's phase-C record, replayable when the
+	// pixels are unchanged and phase B lands on (mRng, mBeta) again.
+	mValid bool
+	mRng   int
+	mBeta  float64
+	plan   *Plan
+	res    ZoneResult
+	before backlight.ZonePower
+}
+
+// zonedState is the pooled cross-call state of the fast walk.
+type zonedState struct {
+	w, h       int
+	rows, cols int
+	slots      []zoneSlot
+	key        zonedOptKey
+	keyOK      bool
+
+	// sealed marks a state whose memos survived a completed walk; it is
+	// cleared on acquire and restored only after success, so a
+	// cancelled or failed run can never leak half-written memos.
+	sealed bool
+
+	// Frame-level distortion memo: AchievedDistortion of the last
+	// sealed non-replay run, replayable when every zone replays (the
+	// frame is then pixel- and plan-identical to that run).
+	frameValid bool
+	frameDist  float64
+
+	// Phase scratch reused across calls.
+	rs        []int
+	targets   []float64
+	betas     []float64
+	rngs      []int
+	befores   []backlight.ZonePower
+	unchanged []bool
+}
+
+var zonedStatePool = sync.Pool{New: func() any { return &zonedState{} }}
+
+// grow returns s resized to n elements, reallocating only on capacity
+// growth. Contents are unspecified.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// configure resizes the state to a (frame, grid) geometry, allocating
+// per-zone buffers for each slot's own rectangle.
+func (st *zonedState) configure(w, h int, g backlight.Grid) {
+	st.w, st.h, st.rows, st.cols = w, h, g.Rows, g.Cols
+	zones := g.Zones()
+	st.slots = grow(st.slots, zones)
+	for k := range st.slots {
+		z := &st.slots[k]
+		x0, y0, x1, y1 := g.ZoneRect(k, w, h)
+		z.x0, z.y0, z.x1, z.y1 = x0, y0, x1, y1
+		if z.img == nil || z.img.W != x1-x0 || z.img.H != y1-y0 {
+			z.img = gray.New(x1-x0, y1-y0)
+			z.scratch = gray.New(x1-x0, y1-y0)
+		}
+	}
+	st.rs = grow(st.rs, zones)
+	st.targets = grow(st.targets, zones)
+	st.betas = grow(st.betas, zones)
+	st.rngs = grow(st.rngs, zones)
+	st.befores = grow(st.befores, zones)
+	st.unchanged = grow(st.unchanged, zones)
+}
+
+// invalidate drops every cross-call memo (geometry and buffers stay).
+func (st *zonedState) invalidate() {
+	for k := range st.slots {
+		z := &st.slots[k]
+		z.valid = false
+		z.mValid = false
+		z.plan = nil
+	}
+	st.frameValid = false
+}
+
+// acquireZonedState fetches a pooled state and revalidates it against
+// the call's geometry and option key — the deltaState
+// fingerprint-and-revalidate pattern. Any mismatch (or an unsealed
+// state from an aborted run) keeps the buffers but drops the memos.
+func acquireZonedState(img *gray.Image, g backlight.Grid, key zonedOptKey, keyOK bool) *zonedState {
+	st := zonedStatePool.Get().(*zonedState)
+	if st.w != img.W || st.h != img.H || st.rows != g.Rows || st.cols != g.Cols || len(st.slots) != g.Zones() {
+		st.configure(img.W, img.H, g)
+		st.invalidate()
+	} else if !st.sealed || !st.keyOK || !keyOK || key != st.key {
+		st.invalidate()
+	}
+	st.sealed = false
+	st.key, st.keyOK = key, keyOK
+	return st
+}
+
+// equalRect reports whether src's rectangle with top-left (x0,y0) and
+// ref's geometry is byte-identical to ref — the certification that
+// lets a zone keep its analysis and replay its program.
+//
+//hebs:noalloc
+func equalRect(src, ref *gray.Image, x0, y0 int) bool {
+	for y := 0; y < ref.H; y++ {
+		lo := (y0+y)*src.W + x0
+		if !bytes.Equal(src.Pix[lo:lo+ref.W], ref.Pix[y*ref.W:(y+1)*ref.W]) {
+			return false
+		}
+	}
+	return true
+}
+
+// canReplay reports whether slot z can replay its phase-C memo at this
+// frame's operating point.
+//
+//hebs:noalloc
+func (st *zonedState) canReplay(k int) bool {
+	z := &st.slots[k]
+	//hebslint:allow floateq a replay requires exactly the memoized drive level
+	return st.unchanged[k] && z.mValid && z.plan != nil && z.mRng == st.rngs[k] && z.mBeta == st.betas[k]
+}
+
+// processZonedFast is the pooled-state walk. Identical outputs to
+// processZonedRef on every input (TestZonedFastPathEquivalence pins
+// this), with three certified shortcuts: unchanged zones skip
+// analysis, operating-point-stable zones replay measurements, and
+// all-replay frames replay the frame distortion.
+func (e *Engine) processZonedFast(ctx context.Context, sp *obs.Span, img *gray.Image, opts Options, b backlight.Backend, g backlight.Grid, segments int, metric chart.Metric) (*ZonedResult, error) {
+	zones := g.Zones()
+	key, keyOK := zonedKeyFor(opts, segments, b)
+	st := acquireZonedState(img, g, key, keyOK)
+	sealed := false
+	defer func() {
+		st.sealed = sealed
+		zonedStatePool.Put(st)
+	}()
+
+	// Phase A — per-zone analysis. A zone byte-identical to its
+	// reference copy keeps its histogram and range; a changed zone
+	// recopies, re-searches, re-bins, and drops its measurement memo.
+	err := parallel.ForEach(ctx, zones, e.workers, func(k int) error {
+		z := &st.slots[k]
+		if z.valid && equalRect(img, z.img, z.x0, z.y0) {
+			st.unchanged[k] = true
+			mZonedZoneSkips.Inc()
+			return nil
+		}
+		st.unchanged[k] = false
+		z.valid = false
+		z.mValid = false
+		z.plan = nil
+		copyRect(img, z.img, z.x0, z.y0)
+		r, _, err := e.selectRangeZone(ctx, z.img, opts, z.scratch)
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		histogram.OfInto(z.img, &z.hist)
+		z.r = r
+		z.valid = true
+		mZonedZoneRebins.Inc()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase B — the serial β-field pass (shared with the reference
+	// walk). Cheap, floor-dependent, deterministic: always recomputed.
+	for k := range st.slots {
+		st.rs[k] = st.slots[k].r
+	}
+	sweeps, maxGrad, err := betaField(opts, b, g, st.rs, st.targets, st.betas, st.rngs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Frame-level replay decision, before the fan-out: only when every
+	// zone replays is the reconstruction (and hence the frame metric)
+	// identical to the memoized run, letting the recon buffer be
+	// skipped entirely.
+	replayAll := st.frameValid
+	if replayAll {
+		for k := range st.slots {
+			if !st.canReplay(k) {
+				replayAll = false
+				break
+			}
+		}
+	}
+
+	// Phase C — per-zone Plan/Apply/measure. Replaying zones remap Λ
+	// from the memoized plan (the output buffer is always written
+	// fresh) and reuse their stored measurements; computing zones run
+	// the full stage and store the memo.
+	out := e.getGray(img.W, img.H)
+	var recon *gray.Image
+	if !replayAll {
+		recon = e.getGray(img.W, img.H)
+		defer e.putGray(recon)
+	}
+	results := make([]ZoneResult, zones)
+	err = parallel.ForEach(ctx, zones, e.workers, func(k int) error {
+		z := &st.slots[k]
+		if st.canReplay(k) {
+			if err := applyLUTRect(z.plan.Lambda, img, out, z.x0, z.y0, z.x1, z.y1); err != nil {
+				return err
+			}
+			if recon != nil {
+				reconLUT, err := z.plan.reconstruction()
+				if err != nil {
+					return err
+				}
+				if err := applyLUTRect(reconLUT, img, recon, z.x0, z.y0, z.x1, z.y1); err != nil {
+					return err
+				}
+			}
+			r := z.res
+			r.PlanCached = true
+			results[k] = r
+			st.befores[k] = z.before
+			mZonedZoneReplays.Inc()
+			return nil
+		}
+		zsp := sp.Child("engine.zone")
+		defer zsp.End()
+		zsp.SetInt("zone", k)
+		plan, cached, err := e.planFor(ctx, zsp, &z.hist, st.rngs[k], segments,
+			opts.Driver, opts.Equalizer, opts.ClipFactor)
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		if err := applyLUTRect(plan.Lambda, img, out, z.x0, z.y0, z.x1, z.y1); err != nil {
+			return err
+		}
+		reconLUT, err := plan.reconstruction()
+		if err != nil {
+			return err
+		}
+		if err := applyLUTRect(reconLUT, img, recon, z.x0, z.y0, z.x1, z.y1); err != nil {
+			return err
+		}
+		// The zone's own reconstruction is a rectangle of the frame
+		// recon just written — copy it out instead of remapping again.
+		copyRect(recon, z.scratch, z.x0, z.y0)
+		d, err := metric(z.img, z.scratch)
+		if err != nil {
+			return fmt.Errorf("core: zone %d distortion: %w", k, err)
+		}
+		total := len(img.Pix)
+		before, err := b.ZonePower(1, backlight.ContentOfRect(img, z.x0, z.y0, z.x1, z.y1, total))
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		after, err := b.ZonePower(st.betas[k], backlight.ContentOfRect(out, z.x0, z.y0, z.x1, z.y1, total))
+		if err != nil {
+			return fmt.Errorf("core: zone %d: %w", k, err)
+		}
+		st.befores[k] = before
+		results[k] = ZoneResult{
+			Zone: k, X0: z.x0, Y0: z.y0, X1: z.x1, Y1: z.y1,
+			Range: st.rngs[k], TargetBeta: st.targets[k], Beta: st.betas[k],
+			Distortion: d, PlanCached: cached, Power: after,
+		}
+		if st.keyOK {
+			z.plan = plan
+			z.mRng = st.rngs[k]
+			z.mBeta = st.betas[k]
+			z.res = results[k]
+			z.before = before
+			z.mValid = true
+		}
+		zsp.SetInt("range", st.rngs[k])
+		zsp.SetFloat("beta", st.betas[k])
+		return nil
+	})
+	if err != nil {
+		e.putGray(out)
+		return nil, err
+	}
+
+	res := &ZonedResult{
+		Original:     img,
+		Transformed:  out,
+		Backend:      b.Name(),
+		Grid:         g,
+		Zones:        results,
+		SmoothSweeps: sweeps,
+		eng:          e,
+	}
+	if replayAll {
+		res.AchievedDistortion = st.frameDist
+		mZonedFrameReplays.Inc()
+		sp.SetBool("zoned_frame_replay", true)
+	} else {
+		res.AchievedDistortion, err = metric(img, recon)
+		if err != nil {
+			res.Release()
+			return nil, err
+		}
+		if st.keyOK {
+			st.frameDist = res.AchievedDistortion
+			st.frameValid = true
+		}
+	}
+	finalizeZoned(res, st.befores, st.targets, st.betas, g, maxGrad, sweeps, sp)
+	sealed = true
+	return res, nil
+}

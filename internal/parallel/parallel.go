@@ -65,47 +65,72 @@ func ForEach(ctx context.Context, jobs, workers int, fn func(i int) error) error
 		}
 		return ctx.Err()
 	}
-	var (
-		next     atomic.Int64
-		stopped  atomic.Bool
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-		stopped.Store(true)
-	}
 	mFanouts.Inc()
 	mWorkers.Add(int64(workers))
+	f := fanoutPool.Get().(*fanout)
+	f.next.Store(0)
+	f.stopped.Store(false)
+	f.firstErr = nil
+	f.ctx, f.jobs, f.fn = ctx, jobs, fn
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for !stopped.Load() {
-				if ctx.Err() != nil {
-					return
-				}
-				i := int(next.Add(1)) - 1
-				if i >= jobs {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
+		f.wg.Add(1)
+		go f.run()
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
+	f.wg.Wait()
+	err := f.firstErr
+	f.ctx, f.fn = nil, nil
+	fanoutPool.Put(f)
+	if err != nil {
+		return err
 	}
 	return ctx.Err()
+}
+
+// fanout is the shared state of one ForEach pool. It lives in a
+// sync.Pool because the zoned walk fans out twice per frame: the
+// counter, stop flag, wait group and error slot would otherwise each
+// escape to the heap on every call. After wg.Wait returns no goroutine
+// touches the struct again, so resetting and re-pooling it is safe.
+type fanout struct {
+	next     atomic.Int64
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+	ctx      context.Context
+	jobs     int
+	fn       func(i int) error
+}
+
+var fanoutPool = sync.Pool{New: func() any { return new(fanout) }}
+
+// run is one pool worker: claim indices until the jobs run out, a job
+// fails, or the context is cancelled.
+func (f *fanout) run() {
+	defer f.wg.Done()
+	for !f.stopped.Load() {
+		if f.ctx.Err() != nil {
+			return
+		}
+		i := int(f.next.Add(1)) - 1
+		if i >= f.jobs {
+			return
+		}
+		if err := f.fn(i); err != nil {
+			f.fail(err)
+			return
+		}
+	}
+}
+
+// fail records the first error in time and stops the pool.
+func (f *fanout) fail(err error) {
+	f.mu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.mu.Unlock()
+	f.stopped.Store(true)
 }
 
 // Map is ForEach with the result slots owned by the pool: fn(i)'s

@@ -33,7 +33,8 @@ func ssimComponents(a, b *gray.Image, opts UQIOptions) (lum, cs float64, err err
 		c2 = (0.03 * 255) * (0.03 * 255)
 	)
 	win, step := opts.Window, opts.Step
-	tables := newSAT(a, b)
+	tables := getSAT(a, b)
+	defer putSAT(tables)
 	var sumL, sumCS float64
 	count := 0
 	for y := 0; y+win <= a.H; y += step {

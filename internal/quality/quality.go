@@ -170,25 +170,29 @@ type sat struct {
 	sx, sy, sxx, syy, sxy []int64
 }
 
-// satPool recycles summed-area tables between metric evaluations.
-// The SAT is by far the dominant allocation of a UQI/SSIM call (five
-// (w+1)×(h+1) int64 tables), and both the per-image range bisection and
-// steady-state video evaluate the metric many times at one geometry, so
-// pooling turns the metric allocation-free after the first call.
-var satPool sync.Pool
+// satPools recycles summed-area tables between metric evaluations,
+// one pool per image geometry. The SAT is by far the dominant
+// allocation of a UQI/SSIM call (five (w+1)×(h+1) int64 tables), and
+// the hot callers interleave geometries — the zoned walk alternates
+// zone-sized and frame-sized evaluations every frame, MS-SSIM walks a
+// pyramid — so a single shared pool would evict on every flip and
+// leak the dropped tables to the collector. Keying the pool by (w, h)
+// keeps every active geometry warm; the key set is tiny (a few zone
+// and frame sizes per process), so the map never grows meaningfully.
+var satPools sync.Map // satGeom -> *sync.Pool
+
+type satGeom struct{ w, h int }
 
 // getSAT returns a built summed-area table for the pair, reusing a
-// pooled allocation when its geometry matches.
+// pooled allocation of the same geometry when one is available.
 func getSAT(a, b *gray.Image) *sat {
-	w, h := a.W, a.H
-	if v := satPool.Get(); v != nil {
-		s := v.(*sat)
-		if s.w == w && s.h == h {
+	if p, ok := satPools.Load(satGeom{a.W, a.H}); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			s := v.(*sat)
 			s.resetBorder()
 			s.build(a, b)
 			return s
 		}
-		// Geometry changed: drop the stale tables and allocate fresh.
 	}
 	return newSAT(a, b)
 }
@@ -209,7 +213,13 @@ func newSAT(a, b *gray.Image) *sat {
 	return s
 }
 
-func putSAT(s *sat) { satPool.Put(s) }
+func putSAT(s *sat) {
+	p, ok := satPools.Load(satGeom{s.w, s.h})
+	if !ok {
+		p, _ = satPools.LoadOrStore(satGeom{s.w, s.h}, &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(s)
+}
 
 // resetBorder zeroes row 0 and column 0 of each table. build overwrites
 // every interior cell but never touches the zero border the prefix-sum

@@ -53,13 +53,10 @@ func processZonedClip(ctx context.Context, seq *Sequence, pol Policy) (*Result, 
 	zones := g.Zones()
 	eng := pol.Engine
 	if eng == nil {
-		// Per-zone plans churn the LRU zone-count times faster than the
-		// global walk; keep two generations of the whole grid resident.
-		cache := 2 * zones
-		if cache < 8 {
-			cache = 8
-		}
-		eng = core.NewEngine(core.EngineOptions{Workers: pol.Workers, PlanCacheSize: cache})
+		// The default engine joins the process-wide sharded plan cache,
+		// which holds many zone grids' worth of plans — no per-walk
+		// cache sizing needed.
+		eng = core.NewEngine(core.EngineOptions{Workers: pol.Workers})
 	}
 	step := effectiveSlew(pol.MaxStep, b.MaxSlew())
 	quant := 1.0 / float64(transform.Levels-1)
